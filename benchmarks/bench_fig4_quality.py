@@ -1,0 +1,37 @@
+"""Figure 4 — labelling quality at equal budget.
+
+Regenerates the paper's three panels (Precision / Recall / F1) for the six
+frameworks across all seven datasets.  The paper's shape: CrowdRL on top by
+5-20% on the speech tasks, OBA at the bottom, CP feature views beating the
+single views, Fashion easier than speech.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig4
+from repro.harness.report import render_figures
+
+
+def test_fig4_quality(benchmark, bench_scale, bench_seeds):
+    panels = benchmark.pedantic(
+        lambda: fig4(scale=bench_scale, n_seeds=bench_seeds),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_figures(panels))
+    from conftest import save_report
+
+    save_report("fig4", render_figures(panels))
+
+    precision = panels[0]
+    for name, values in precision.series.items():
+        benchmark.extra_info[f"precision_mean[{name}]"] = (
+            sum(values) / len(values)
+        )
+
+    # Shape assertions (paper's headline result): CrowdRL's average
+    # precision beats every baseline's, and OBA is the weakest.
+    means = {
+        name: sum(vals) / len(vals) for name, vals in precision.series.items()
+    }
+    assert means["CrowdRL"] == max(means.values())
+    assert means["OBA"] == min(means.values())

@@ -1,0 +1,32 @@
+"""Figure 8 — ablation study: M1 / M2 / M3 vs full CrowdRL (accuracy).
+
+M1 drops CrowdRL's task selection (random TS), M2 drops its task
+assignment (random TA), M3 replaces joint inference with PM.  The paper's
+shape: every ablation hurts; full CrowdRL is the best of the four.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig8
+from repro.harness.report import render_figure
+
+
+def test_fig8_ablation(benchmark, bench_scale, bench_seeds):
+    panel = benchmark.pedantic(
+        lambda: fig8(scale=bench_scale, n_seeds=max(bench_seeds, 2)),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_figure(panel))
+    from conftest import save_report
+
+    save_report("fig8", render_figure(panel))
+
+    means = {
+        name: sum(vals) / len(vals) for name, vals in panel.series.items()
+    }
+    for name, value in means.items():
+        benchmark.extra_info[f"accuracy_mean[{name}]"] = value
+
+    # Shape assertion: the full framework beats the average ablation.
+    ablation_mean = (means["M1"] + means["M2"] + means["M3"]) / 3
+    assert means["CrowdRL"] >= ablation_mean

@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark runs the corresponding harness experiment once
+(``benchmark.pedantic`` with a single round — these are minutes-scale
+end-to-end experiments, not microseconds-scale kernels), prints the
+rows/series the paper's figure plots, and attaches the headline numbers to
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON output.
+
+``BENCH_SCALE`` (env ``REPRO_BENCH_SCALE``) controls dataset size:
+0.02 keeps the full suite in a few minutes; raise it toward 1.0 to
+approach paper-size datasets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Dataset scale for all figure benchmarks (1.0 = paper size).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+#: Seeds averaged per configuration.
+BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seeds() -> int:
+    return BENCH_SEEDS
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a figure's rendered table under benchmarks/results/.
+
+    pytest captures stdout of passing tests, so the printed tables would
+    otherwise be invisible in a plain ``pytest benchmarks/`` log; the saved
+    files are the durable record of each regenerated figure.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,65 @@
+"""Scenario: how much labelling budget does a target quality need?
+
+A requester planning a labelling campaign wants the cost/quality frontier
+before committing money.  This example sweeps the budget for CrowdRL and
+for the strongest non-RL pipeline (the Hybrid baseline) on the Fashion
+stand-in, printing the quality each budget buys and the marginal value of
+the next budget increment — the trade-off Section I calls "the better
+trade-off of monetary cost and labelling quality".
+
+Run:  python examples/budget_planning.py
+"""
+
+import numpy as np
+
+from repro import CrowdRL, CrowdRLConfig, load_dataset, make_platform
+from repro.baselines import Hybrid
+from repro.utils.tables import format_table
+
+
+def run_at_budget(framework_name: str, dataset, budget: float,
+                  seed: int) -> tuple[float, float]:
+    platform = make_platform(
+        dataset, n_workers=2, n_experts=1, budget=budget, rng=100,
+    )
+    if framework_name == "CrowdRL":
+        framework = CrowdRL(CrowdRLConfig(), rng=seed)
+    else:
+        framework = Hybrid(rng=np.random.default_rng(seed))
+    outcome = framework.run(dataset, platform)
+    report = outcome.evaluate(platform.evaluation_labels())
+    return report.f1, outcome.spent
+
+
+def main() -> None:
+    dataset = load_dataset("Fashion", scale=0.005, rng=0)  # 162 images
+    print(f"dataset: {dataset}\n")
+
+    budgets = [100.0, 200.0, 400.0, 800.0]
+    rows = []
+    prev = {}
+    for budget in budgets:
+        row = [f"{budget:.0f}"]
+        for name in ("CrowdRL", "Hybrid"):
+            f1, spent = run_at_budget(name, dataset, budget, seed=3)
+            gain = f1 - prev.get(name, f1)
+            prev[name] = f1
+            row.extend([f1, f"{spent:.0f}", f"{gain:+.3f}"])
+        rows.append(row)
+
+    print(format_table(
+        ["budget",
+         "CrowdRL f1", "spent", "Δf1",
+         "Hybrid f1", "spent", "Δf1"],
+        rows,
+    ))
+    print(
+        "\nReading: quality saturates — after some point extra budget buys "
+        "almost nothing (Δf1 → 0).  CrowdRL typically reaches a given F1 "
+        "at a smaller budget than the decoupled Hybrid pipeline, which is "
+        "the paper's 'same (even fewer) monetary cost' claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Scenario: medical-image triage with scarce experts (Challenge 1).
+
+The paper's first motivating challenge: "crowdsourcing workers cannot
+decide if a medical image contains a tumor — it requires experts".  This
+example builds a pool where workers are barely better than chance on a
+hard binary task while two radiologists are near-perfect but 10x the cost,
+and shows (a) how CrowdRL's joint inference with expert-quality bounding
+aggregates their answers, and (b) how the budget splits between worker
+coverage and targeted expert reads.
+
+Run:  python examples/medical_triage.py
+"""
+
+import numpy as np
+
+from repro import BudgetManager, CrowdRL, CrowdRLConfig
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pool import AnnotatorPool
+from repro.datasets.synthetic import make_blobs
+
+
+def build_triage_pool(rng: np.random.Generator) -> AnnotatorPool:
+    """3 med-school volunteers (noisy, cheap) + 2 radiologists."""
+    annotators = []
+    streams = rng.spawn(5)
+    for i, accuracy in enumerate((0.62, 0.58, 0.65)):
+        annotators.append(Annotator(
+            annotator_id=i, kind=AnnotatorKind.WORKER,
+            confusion=ConfusionMatrix.from_accuracy(2, accuracy),
+            cost=1.0, _rng=streams[i],
+        ))
+    for j, accuracy in enumerate((0.97, 0.95)):
+        annotators.append(Annotator(
+            annotator_id=3 + j, kind=AnnotatorKind.EXPERT,
+            confusion=ConfusionMatrix.from_accuracy(2, accuracy),
+            cost=10.0, _rng=streams[3 + j],
+        ))
+    return AnnotatorPool(annotators, n_classes=2)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # A hard imaging task: low class separation, imbalanced (tumors rare).
+    scans = make_blobs(
+        150, 24, separation=1.8,
+        class_balance=np.array([0.7, 0.3]),  # class 1 = tumor
+        name="ct-scans", rng=rng,
+    )
+    pool = build_triage_pool(rng)
+    platform = CrowdPlatform(scans.labels, pool, BudgetManager(700.0))
+
+    config = CrowdRLConfig(
+        alpha=0.08,             # slightly larger cold-start on a hard task
+        k_per_object=3,
+        expert_floor=0.92,      # radiologists' quality bounded from below
+        enrichment_margin=0.3,  # demand a wider margin before auto-labels
+    )
+    outcome = CrowdRL(config, rng=1).run(scans, platform)
+
+    report = outcome.evaluate(platform.evaluation_labels())
+    print(f"scans: {scans.n_objects}, budget: {platform.budget.total:.0f}")
+    print(f"spent: {outcome.spent:.0f} over {outcome.iterations} iterations")
+    print(f"label sources: {outcome.source_counts()}")
+
+    expert_reads = sum(
+        platform.history.annotator_load(a.annotator_id)
+        for a in pool if a.is_expert
+    )
+    worker_reads = sum(
+        platform.history.annotator_load(a.annotator_id)
+        for a in pool if not a.is_expert
+    )
+    print(f"worker reads: {worker_reads} (cost {worker_reads:.0f}), "
+          f"radiologist reads: {expert_reads} (cost {expert_reads * 10:.0f})")
+
+    print(
+        f"\ntumor-detection precision={report.precision:.3f} "
+        f"recall={report.recall:.3f} f1={report.f1:.3f} "
+        f"accuracy={report.accuracy:.3f}"
+    )
+    print(
+        "\nReading: the budget buys broad worker coverage plus targeted "
+        "radiologist reads; joint inference weighs each answer by the "
+        "annotator's estimated confusion matrix, with the radiologists' "
+        "quality floored so an EM run can never demote them."
+    )
+
+
+if __name__ == "__main__":
+    main()

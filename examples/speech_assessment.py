@@ -1,0 +1,62 @@
+"""Scenario: grading pupils' oral maths explanations (the paper's intro).
+
+The paper's motivating workload: thousands of short videos of primary-school
+pupils explaining how they solved a maths problem, to be labelled
+'excellent' vs 'awful' by a mix of professional teachers (experts, 10x the
+cost) and crowd workers.  This example compares all six end-to-end
+frameworks on that workload at equal budget — a one-dataset slice of the
+paper's Figure 4 — and prints where each framework spent its money.
+
+Run:  python examples/speech_assessment.py
+"""
+
+from repro.harness.experiment import (
+    FRAMEWORK_NAMES,
+    ExperimentSetting,
+    run_experiment,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    setting = ExperimentSetting(
+        dataset_name="S12CP",   # contextual + prosodic features
+        scale=0.05,             # 117 of the 2344 clips, for a fast demo
+        n_workers=3,
+        n_experts=2,
+        seed=0,
+    )
+    print(
+        f"workload: {setting.dataset_name} at scale {setting.scale}, "
+        f"budget {setting.resolve_budget():.0f} units "
+        f"(worker answer = 1, teacher answer = 10)\n"
+    )
+
+    rows = []
+    for name in FRAMEWORK_NAMES:
+        result = run_experiment(name, setting)
+        report = result.report
+        sources = result.outcome.source_counts()
+        rows.append([
+            name,
+            report.precision,
+            report.recall,
+            report.f1,
+            f"{result.outcome.spent:.0f}",
+            sources["human"],
+            sources["enriched"] + sources["predicted"],
+        ])
+
+    print(format_table(
+        ["framework", "prec", "rec", "f1", "spent", "human-labelled",
+         "model-labelled"],
+        rows,
+    ))
+    print(
+        "\nReading: CrowdRL should lead on precision/F1 at the same budget "
+        "(paper Fig. 4); OBA trails because it trusts single noisy answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

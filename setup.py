@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on toolchains that cannot build
+PEP 517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

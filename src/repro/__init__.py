@@ -1,0 +1,84 @@
+"""CrowdRL: an end-to-end RL framework for data labelling (ICDE 2021).
+
+This package reproduces the paper's full system: the CrowdRL framework
+(unified task selection + assignment via a DQN, joint truth inference over
+annotators and the classifier), the five baseline frameworks it is compared
+against, the substrates everything runs on (numpy neural nets, a crowd
+simulator, a truth-inference library), synthetic stand-ins for the three
+evaluation datasets, and the harness regenerating Figures 4-8.
+
+Quickstart::
+
+    from repro import CrowdRL, CrowdRLConfig, make_platform, load_dataset
+
+    dataset = load_dataset("S12CP", scale=0.1, rng=0)
+    platform = make_platform(dataset, n_workers=3, n_experts=2,
+                             budget=500, rng=1)
+    outcome = CrowdRL(CrowdRLConfig(), rng=2).run(dataset, platform)
+    report = outcome.evaluate(platform.evaluation_labels())
+    print(report)
+"""
+
+from typing import Optional
+
+from repro.core.config import CrowdRLConfig
+from repro.core.framework import CrowdRL, LabellingFramework
+from repro.core.result import LabelSource, LabellingOutcome
+from repro.crowd.cost import BudgetManager, CostModel
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pool import AnnotatorPool
+from repro.datasets.base import LabelledDataset
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.metrics.classification import ClassificationReport, evaluate_labels
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdRL",
+    "CrowdRLConfig",
+    "LabellingFramework",
+    "LabellingOutcome",
+    "LabelSource",
+    "CrowdPlatform",
+    "AnnotatorPool",
+    "BudgetManager",
+    "CostModel",
+    "LabelledDataset",
+    "load_dataset",
+    "DATASET_NAMES",
+    "ClassificationReport",
+    "evaluate_labels",
+    "make_platform",
+    "__version__",
+]
+
+
+def make_platform(
+    dataset: LabelledDataset,
+    *,
+    n_workers: int,
+    n_experts: int,
+    budget: float,
+    cost_model: Optional[CostModel] = None,
+    rng: SeedLike = None,
+) -> CrowdPlatform:
+    """Convenience constructor: pool + budget + platform for a dataset.
+
+    Builds a heterogeneous annotator pool (paper defaults: noisy workers,
+    near-perfect experts, costs 1 / 10) and wraps it with the dataset's
+    ground truth into a :class:`CrowdPlatform` ready for any framework.
+    """
+    rng = as_rng(rng)
+    (pool_rng,) = spawn_rngs(rng, 1)
+    pool = AnnotatorPool.build(
+        dataset.n_classes,
+        n_workers,
+        n_experts,
+        cost_model=cost_model or CostModel(),
+        rng=pool_rng,
+    )
+    return CrowdPlatform(
+        dataset.labels, pool, BudgetManager(budget),
+        difficulty=dataset.difficulty,
+    )

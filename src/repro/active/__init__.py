@@ -1,0 +1,20 @@
+"""Active-learning toolkit: uncertainty measures and task selectors.
+
+Used by the baselines (DLTA's acquisition step, DALC's informativeness,
+Hybrid's bootstrap MinExpError) and by the CrowdRL ablation M1 (random
+selection).
+"""
+
+from repro.active.bootstrap import min_exp_error_scores
+from repro.active.selectors import RandomSelector, TaskSelector, UncertaintySelector
+from repro.active.uncertainty import entropy, least_confidence, margin
+
+__all__ = [
+    "entropy",
+    "margin",
+    "least_confidence",
+    "min_exp_error_scores",
+    "TaskSelector",
+    "RandomSelector",
+    "UncertaintySelector",
+]

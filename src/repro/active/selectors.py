@@ -1,0 +1,71 @@
+"""Task selectors: given candidate objects and context, pick a batch.
+
+Selectors encapsulate the *task selection* half that traditional frameworks
+run independently of assignment; CrowdRL replaces them with the joint DQN
+action, but the baselines and the M1 ablation need them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.active.uncertainty import entropy
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+class TaskSelector:
+    """Base class: select ``batch_size`` object ids from ``candidates``."""
+
+    def select(self, candidates: Sequence[int], batch_size: int,
+               proba: Optional[np.ndarray] = None) -> list[int]:
+        """``proba`` rows align with ``candidates`` when provided."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(candidates: Sequence[int], batch_size: int) -> list[int]:
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
+        return list(candidates)
+
+
+class RandomSelector(TaskSelector):
+    """Uniform random selection (IDLE's selection; ablation M1)."""
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = as_rng(rng)
+
+    def select(self, candidates, batch_size, proba=None) -> list[int]:
+        pool = self._check(candidates, batch_size)
+        if not pool:
+            return []
+        k = min(batch_size, len(pool))
+        chosen = self._rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in chosen]
+
+
+class UncertaintySelector(TaskSelector):
+    """Pick the objects whose class distribution is most uncertain."""
+
+    def __init__(self, measure: Callable[[np.ndarray], np.ndarray] = entropy) -> None:
+        self.measure = measure
+
+    def select(self, candidates, batch_size, proba=None) -> list[int]:
+        pool = self._check(candidates, batch_size)
+        if not pool:
+            return []
+        if proba is None:
+            raise ConfigurationError(
+                "UncertaintySelector requires a probability matrix"
+            )
+        proba = np.asarray(proba, dtype=float)
+        if proba.shape[0] != len(pool):
+            raise ConfigurationError(
+                f"proba has {proba.shape[0]} rows for {len(pool)} candidates"
+            )
+        scores = self.measure(proba)
+        k = min(batch_size, len(pool))
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [pool[i] for i in order]

@@ -1,0 +1,39 @@
+"""Per-object uncertainty measures over class-probability matrices.
+
+All functions take a ``(n, |C|)`` probability matrix and return an ``(n,)``
+score where larger means more uncertain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_proba(proba: np.ndarray) -> np.ndarray:
+    p = np.asarray(proba, dtype=float)
+    if p.ndim != 2 or p.shape[1] < 2:
+        raise ConfigurationError(
+            f"probability matrix must be (n, >=2), got shape {p.shape}"
+        )
+    return p
+
+
+def entropy(proba: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each row (nats)."""
+    p = _check_proba(proba)
+    return -(p * np.log(p + 1e-12)).sum(axis=1)
+
+
+def margin(proba: np.ndarray) -> np.ndarray:
+    """*Negated* top-1/top-2 margin, so larger = more uncertain."""
+    p = _check_proba(proba)
+    part = np.partition(p, -2, axis=1)
+    return -(part[:, -1] - part[:, -2])
+
+
+def least_confidence(proba: np.ndarray) -> np.ndarray:
+    """One minus the top class probability."""
+    p = _check_proba(proba)
+    return 1.0 - p.max(axis=1)

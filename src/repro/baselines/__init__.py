@@ -1,0 +1,25 @@
+"""Baseline end-to-end labelling frameworks (paper Section VI-A2).
+
+Each baseline implements :class:`repro.core.framework.LabellingFramework`
+and runs on the same :class:`~repro.crowd.platform.CrowdPlatform`, so
+comparisons in the harness are budget-fair by construction:
+
+* :class:`DLTA` — EM label inference + benefit-maximising acquisition.
+* :class:`OBA` — AI-worker thresholding; trusts single human answers.
+* :class:`IDLE` — random selection, worker→expert escalation, EM.
+* :class:`DALC` — unified Bayesian label/classifier inference, most
+  informative tasks to the highest-expertise annotators.
+* :class:`Hybrid` — MinExpError bootstrap selection + DQN assignment
+  (Shan et al.) + PM inference.
+
+plus the Fig. 8 ablation variants of CrowdRL (M1/M2/M3).
+"""
+
+from repro.baselines.ablations import make_m1, make_m2, make_m3
+from repro.baselines.dalc import DALC
+from repro.baselines.dlta import DLTA
+from repro.baselines.hybrid import Hybrid
+from repro.baselines.idle import IDLE
+from repro.baselines.oba import OBA
+
+__all__ = ["DLTA", "OBA", "IDLE", "DALC", "Hybrid", "make_m1", "make_m2", "make_m3"]

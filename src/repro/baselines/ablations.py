@@ -1,0 +1,45 @@
+"""The Fig. 8 ablation variants of CrowdRL.
+
+* **M1** — CrowdRL without its task selection: objects are picked uniformly
+  at random; annotators still chosen by Q-value.
+* **M2** — CrowdRL without its task assignment: objects still chosen by the
+  top-k Q heap; annotators picked uniformly at random.
+* **M3** — CrowdRL without the joint inference model: truth inference uses
+  the PM algorithm (paper ref [48]); the classifier is still trained for
+  labelled-set enrichment but no longer participates in inference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.config import CrowdRLConfig
+from repro.core.framework import CrowdRL
+from repro.utils.rng import SeedLike
+
+
+def _variant(base: Optional[CrowdRLConfig], name: str, rng: SeedLike,
+             **overrides) -> CrowdRL:
+    config = dataclasses.replace(base or CrowdRLConfig(), **overrides)
+    framework = CrowdRL(config, rng=rng)
+    framework.name = name
+    return framework
+
+
+def make_m1(config: Optional[CrowdRLConfig] = None,
+            rng: SeedLike = None) -> CrowdRL:
+    """CrowdRL with random task selection (ablation M1)."""
+    return _variant(config, "M1", rng, ts_mode="random")
+
+
+def make_m2(config: Optional[CrowdRLConfig] = None,
+            rng: SeedLike = None) -> CrowdRL:
+    """CrowdRL with random task assignment (ablation M2)."""
+    return _variant(config, "M2", rng, ta_mode="random")
+
+
+def make_m3(config: Optional[CrowdRLConfig] = None,
+            rng: SeedLike = None) -> CrowdRL:
+    """CrowdRL with PM inference instead of the joint model (ablation M3)."""
+    return _variant(config, "M3", rng, inference_method="pm")

@@ -1,0 +1,77 @@
+"""Gaussian naive Bayes classifier.
+
+A closed-form, well-calibrated ``phi`` alternative: class-conditional
+diagonal Gaussians fitted by (weighted) moment matching.  Soft labels and
+sample weights turn into fractional responsibilities, so it drops straight
+into the joint inference model.  Particularly suited to the synthetic
+Gaussian-cloud datasets this reproduction labels, and orders of magnitude
+faster than iterative fits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.exceptions import ConfigurationError
+
+
+class NaiveBayesClassifier(Classifier):
+    """Diagonal-covariance Gaussian naive Bayes."""
+
+    def __init__(self, n_features: int, n_classes: int, *,
+                 var_smoothing: float = 1e-6) -> None:
+        super().__init__(n_classes)
+        if n_features <= 0:
+            raise ConfigurationError(f"n_features must be > 0, got {n_features}")
+        if var_smoothing <= 0:
+            raise ConfigurationError(
+                f"var_smoothing must be > 0, got {var_smoothing}"
+            )
+        self.n_features = n_features
+        self.var_smoothing = var_smoothing
+        self._means = np.zeros((n_classes, n_features))
+        self._vars = np.ones((n_classes, n_features))
+        self._log_prior = np.full(n_classes, -np.log(n_classes))
+
+    def fit_soft(self, x, soft_labels,
+                 sample_weights: Optional[np.ndarray] = None
+                 ) -> "NaiveBayesClassifier":
+        x, soft = self._check_xy(x, soft_labels)
+        n = x.shape[0]
+        if sample_weights is not None:
+            w = np.asarray(sample_weights, dtype=float)
+            if w.shape != (n,):
+                raise ConfigurationError(
+                    f"sample_weights must have shape ({n},), got {w.shape}"
+                )
+            soft = soft * w[:, None]
+
+        # Responsibilities per class; smoothing keeps empty classes sane.
+        resp = soft.sum(axis=0) + 1e-9
+        self._log_prior = np.log(resp / resp.sum())
+        self._means = (soft.T @ x) / resp[:, None]
+        sq = soft.T @ (x ** 2) / resp[:, None]
+        self._vars = np.maximum(sq - self._means ** 2, self.var_smoothing)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ConfigurationError(
+                f"expected input (n, {self.n_features}), got {x.shape}"
+            )
+        # Log joint per class: sum over dims of log N(x | mu, var).
+        log_like = -0.5 * (
+            np.log(2 * np.pi * self._vars)[None, :, :]
+            + (x[:, None, :] - self._means[None, :, :]) ** 2
+            / self._vars[None, :, :]
+        ).sum(axis=2)
+        log_post = log_like + self._log_prior[None, :]
+        log_post -= log_post.max(axis=1, keepdims=True)
+        post = np.exp(log_post)
+        return post / post.sum(axis=1, keepdims=True)

@@ -1,0 +1,232 @@
+"""The Agent: DQN policy over unified task selection + assignment.
+
+Section IV: the agent scores every candidate ``(object, annotator)`` pair
+with the Q-network, masks invalid pairs with ``-inf``, adds the UCB1
+exploration bonus of Eq. 6, and selects a batch of objects by largest
+top-``k`` Q-sum via the min-heap procedure, assigning each selected object
+its top-``k`` annotators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.action import Assignment
+from repro.core.config import CrowdRLConfig
+from repro.core.state import N_PAIR_FEATURES, LabellingState
+from repro.exceptions import ConfigurationError
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.selection import ActionStatistics
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.topk import select_objects_by_topk_q
+
+
+class Agent:
+    """CrowdRL's decision maker: featurize → Q → UCB → top-k heap select."""
+
+    def __init__(self, n_objects: int, n_annotators: int,
+                 config: CrowdRLConfig, rng: SeedLike = None) -> None:
+        if n_objects <= 0 or n_annotators <= 0:
+            raise ConfigurationError(
+                f"need positive sizes, got objects={n_objects}, "
+                f"annotators={n_annotators}"
+            )
+        rng = as_rng(rng)
+        self.config = config
+        self.n_objects = n_objects
+        self.n_annotators = n_annotators
+        self.dqn = DQNAgent(
+            DQNConfig(
+                n_features=N_PAIR_FEATURES,
+                hidden=config.dqn_hidden,
+                learning_rate=config.dqn_learning_rate,
+                gamma=config.reward.gamma,
+                buffer_capacity=config.replay_capacity,
+                batch_size=config.dqn_batch_size,
+                target_sync_every=config.target_sync_every,
+                double_dqn=config.double_dqn,
+                prioritized=config.prioritized_replay,
+            ),
+            rng=rng,
+        )
+        self.stats = ActionStatistics(n_objects * n_annotators)
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    def q_matrix(self, state: LabellingState) -> np.ndarray:
+        """Masked Q-values for every pair, shape ``(|O|, |W|)``.
+
+        Invalid pairs are ``-inf`` (Section IV-B's duplicate-labelling guard
+        plus affordability).
+        """
+        tensor = state.feature_tensor()
+        flat = tensor.reshape(-1, N_PAIR_FEATURES)
+        q = self.dqn.q_values(flat).reshape(self.n_objects, self.n_annotators)
+        mask = state.action_mask()
+        q = np.where(mask, q, -np.inf)
+        return q
+
+    def act(self, state: LabellingState) -> list[Assignment]:
+        """Select this iteration's assignments from the current state.
+
+        The default joint mode scores every pair and runs the top-k heap
+        selection; ``ts_mode="random"`` / ``ta_mode="random"`` degrade the
+        corresponding half to uniform choice (ablations M1 / M2).
+        """
+        q = self.q_matrix(state)
+        if self.config.ucb_exploration:
+            bonus = self.stats.bonus().reshape(self.n_objects, self.n_annotators)
+            # Cap the infinite never-tried bonus so -inf masks always win and
+            # scores stay comparable with Q-values (reward scale is ~1).
+            bonus = np.minimum(bonus, 2.0)
+            score = np.where(np.isfinite(q), q + bonus, -np.inf)
+        else:
+            score = q
+        # Tiny random jitter breaks score ties (ubiquitous early on, when
+        # every untried pair carries the same capped bonus); without it the
+        # argmax systematically favours low annotator ids and the agent
+        # never explores the expert columns.
+        jitter = self._rng.normal(scale=1e-3, size=score.shape)
+        score = np.where(np.isfinite(score), score + jitter, score)
+
+        if (self.config.demo_probability > 0
+                and self._rng.random() < self.config.demo_probability):
+            score = self._demonstration_scores(state)
+
+        group_mask, max_group = self._expert_cap(state)
+        if self.config.ts_mode == "random":
+            selected = self._random_ts(state, score)
+        else:
+            selected = select_objects_by_topk_q(
+                score, self.config.k_per_object, self.config.batch_size,
+                group_mask=group_mask, max_group=max_group,
+            )
+
+        assignments = []
+        for object_id, annotator_ids in selected:
+            if self.config.ta_mode == "random":
+                annotator_ids = self._random_ta(state, object_id)
+                if not annotator_ids:
+                    continue
+            assignments.append(Assignment(object_id, tuple(annotator_ids)))
+            for j in annotator_ids:
+                self.stats.record(object_id * self.n_annotators + j)
+        return assignments
+
+    def _expert_cap(self, state: LabellingState):
+        """The (group_mask, max_group) pair enforcing max_experts_per_object."""
+        if self.config.max_experts_per_object is None:
+            return None, None
+        return state.pool.expert_mask, self.config.max_experts_per_object
+
+    def _demonstration_scores(self, state: LabellingState) -> np.ndarray:
+        """Heuristic action scores used for demonstration trajectories.
+
+        Objects score by classifier uncertainty (normalised entropy),
+        annotators by estimated quality — the entropy-TS +
+        expertise-TA policy that strong decoupled pipelines use.  Acting
+        from it occasionally during *offline* episodes fills the replay
+        buffer with good trajectories for the Q-network to learn from.
+        """
+        obj_entropy = state.object_features()[:, 5]
+        quality = state.annotator_features()[:, 1]
+        score = obj_entropy[:, None] + 0.4 * quality[None, :]
+        score = score + self._rng.normal(scale=1e-3, size=score.shape)
+        return np.where(state.action_mask(), score, -np.inf)
+
+    def _random_ts(self, state: LabellingState,
+                   score: np.ndarray) -> list[tuple[int, list[int]]]:
+        """Ablation M1: pick objects uniformly; annotators still by Q."""
+        # Candidates are objects with at least one valid action, mirroring
+        # the mask used by the joint top-k selection (enriched objects stay
+        # selectable in non-sticky mode).
+        candidates = np.flatnonzero(np.isfinite(score).any(axis=1))
+        if candidates.size == 0:
+            return []
+        k_obj = min(self.config.batch_size, candidates.size)
+        chosen = self._rng.choice(candidates, size=k_obj, replace=False)
+        group_mask, max_group = self._expert_cap(state)
+        selected = []
+        for object_id in chosen:
+            row = score[object_id]
+            order = np.argsort(-row, kind="stable")
+            annotators: list[int] = []
+            n_in_group = 0
+            for j in order:
+                if not np.isfinite(row[j]):
+                    continue
+                if group_mask is not None and group_mask[j]:
+                    if n_in_group >= max_group:
+                        continue
+                    n_in_group += 1
+                annotators.append(int(j))
+                if len(annotators) == self.config.k_per_object:
+                    break
+            if annotators:
+                selected.append((int(object_id), annotators))
+        return selected
+
+    def _random_ta(self, state: LabellingState, object_id: int) -> list[int]:
+        """Ablation M2: assign uniformly among valid annotators."""
+        mask = state.action_mask()[object_id]
+        valid = np.flatnonzero(mask)
+        if valid.size == 0:
+            return []
+        k = min(self.config.k_per_object, valid.size)
+        return [int(j) for j in self._rng.choice(valid, size=k, replace=False)]
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def remember_iteration(
+        self,
+        taken_features: np.ndarray,
+        rewards: np.ndarray,
+        next_state: Optional[LabellingState],
+        terminal: bool,
+    ) -> None:
+        """Store one transition per atomic action taken this iteration.
+
+        ``taken_features`` has one row per (object, annotator) pair acted
+        on; ``rewards`` gives each pair's (possibly shaped) reward.  The
+        successor's candidate features are subsampled to
+        ``config.next_state_sample`` rows for tractable bootstrap maxima.
+        """
+        taken = np.atleast_2d(np.asarray(taken_features, dtype=float))
+        rewards = np.broadcast_to(
+            np.asarray(rewards, dtype=float).ravel(), (taken.shape[0],)
+        )
+        next_candidates: Optional[np.ndarray] = None
+        if next_state is not None and not terminal:
+            tensor = next_state.feature_tensor()
+            mask = next_state.action_mask()
+            valid = tensor[mask]
+            if valid.shape[0] == 0:
+                terminal = True
+            else:
+                if valid.shape[0] > self.config.next_state_sample:
+                    idx = self._rng.choice(
+                        valid.shape[0], self.config.next_state_sample,
+                        replace=False,
+                    )
+                    valid = valid[idx]
+                next_candidates = valid
+        for row, reward in zip(taken, rewards):
+            self.dqn.remember(row, float(reward), next_candidates, terminal)
+
+    def train(self) -> list[float]:
+        """Run the configured number of replayed DQN updates."""
+        return self.dqn.train(self.config.train_steps_per_iteration)
+
+    # ------------------------------------------------------------------
+    # Cross-training support (Section VI-A4)
+    # ------------------------------------------------------------------
+    def get_policy_weights(self):
+        return self.dqn.get_weights()
+
+    def set_policy_weights(self, weights) -> None:
+        self.dqn.set_weights(weights)

@@ -1,0 +1,66 @@
+"""Run outcomes shared by CrowdRL and every baseline framework."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.classification import ClassificationReport, evaluate_labels
+
+
+class LabelSource(enum.IntEnum):
+    """How each object's final label was produced."""
+
+    HUMAN = 0        # inferred from annotator answers
+    ENRICHED = 1     # confidently labelled by the classifier mid-run
+    PREDICTED = 2    # labelled by the final classifier at run end
+
+
+@dataclass
+class LabellingOutcome:
+    """Final labels for every object plus run accounting.
+
+    ``final_labels`` covers all of O — the problem statement asks for labels
+    of the whole dataset within budget B; whatever humans did not label is
+    filled by the trained classifier (the active-learning contract from the
+    paper's introduction).
+    """
+
+    framework: str
+    final_labels: np.ndarray
+    label_sources: np.ndarray
+    spent: float
+    budget: float
+    iterations: int
+    reward_history: list[float] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.final_labels = np.asarray(self.final_labels, dtype=int)
+        self.label_sources = np.asarray(self.label_sources, dtype=int)
+        if self.final_labels.shape != self.label_sources.shape:
+            raise ConfigurationError(
+                "final_labels and label_sources must have the same shape"
+            )
+        if self.spent < -1e-9 or self.spent > self.budget + 1e-6:
+            raise ConfigurationError(
+                f"spent {self.spent} outside [0, budget={self.budget}]"
+            )
+
+    @property
+    def n_objects(self) -> int:
+        return self.final_labels.size
+
+    def source_counts(self) -> dict[str, int]:
+        return {
+            source.name.lower(): int((self.label_sources == source).sum())
+            for source in LabelSource
+        }
+
+    def evaluate(self, true_labels: np.ndarray, *,
+                 n_classes: int = 2) -> ClassificationReport:
+        """Score the final labels against ground truth (harness-side only)."""
+        return evaluate_labels(true_labels, self.final_labels, n_classes=n_classes)

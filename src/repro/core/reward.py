@@ -1,0 +1,72 @@
+"""The CrowdRL reward signal (Section III-B, "Reward R").
+
+Per-iteration reward:  ``r(t) = lambda * r_phi(t) + eta * r_cost(t)`` with
+
+* ``r_phi(t) = |objects labelled by the classifier| / |unlabelled objects|``
+  — the enrichment payoff, rewarding iterations after which the classifier
+  could confidently label many objects for free;
+* ``r_cost(t)`` — the monetary term.  The paper leaves its sign implicit;
+  we use the negated iteration cost normalised by the worst-case iteration
+  cost, so cheap iterations earn more (see DESIGN.md).
+
+The long-term reward is the discounted sum of Eq. 1, realised implicitly by
+the DQN's bootstrapped targets with discount ``gamma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Weights (paper's lambda, eta) and the DQN discount gamma."""
+
+    enrichment_weight: float = 1.0   # lambda
+    cost_weight: float = 0.2         # eta
+    gamma: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.enrichment_weight < 0 or self.cost_weight < 0:
+            raise ConfigurationError(
+                "reward weights must be >= 0, got "
+                f"lambda={self.enrichment_weight}, eta={self.cost_weight}"
+            )
+        if not 0.0 < self.gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {self.gamma}")
+
+
+def iteration_reward(
+    weights: RewardWeights,
+    *,
+    n_enriched: int,
+    n_unlabelled_before: int,
+    iteration_cost: float,
+    worst_case_cost: float,
+) -> float:
+    """Compute ``r(t)`` for one labelling iteration.
+
+    Parameters
+    ----------
+    n_enriched:
+        Objects the classifier labelled this iteration (Algorithm 1's
+        enrichment step).
+    n_unlabelled_before:
+        Unlabelled-object count before enrichment (the paper's denominator).
+    iteration_cost:
+        Budget spent on annotators this iteration.
+    worst_case_cost:
+        Normaliser: the largest cost an iteration could incur (batch size
+        times k times the most expensive annotator).
+    """
+    if n_enriched < 0 or n_unlabelled_before < 0:
+        raise ConfigurationError("object counts must be >= 0")
+    if iteration_cost < 0 or worst_case_cost <= 0:
+        raise ConfigurationError(
+            "iteration_cost must be >= 0 and worst_case_cost > 0"
+        )
+    r_phi = n_enriched / n_unlabelled_before if n_unlabelled_before else 0.0
+    r_cost = -iteration_cost / worst_case_cost
+    return weights.enrichment_weight * r_phi + weights.cost_weight * r_cost

@@ -1,0 +1,212 @@
+"""The RL State and its featurization for the Q-network.
+
+Section III-B defines the State as the ``|O| x |W|`` labelling-history
+matrix plus per-annotator cost and estimated-quality columns.  The raw
+state space has ``(|C|+1)^{|O||W|}`` configurations, so — as discussed in
+DESIGN.md — the Q-network consumes a fixed-length featurization of each
+candidate ``(object, annotator)`` action in the current state:
+
+* object block (6): answer count, vote disagreement, majority share,
+  classifier margin / max-probability / entropy at the object;
+* annotator block (4): normalised cost, estimated quality, expert flag,
+  normalised load;
+* global block (3): remaining-budget fraction, human-labelled fraction,
+  classifier-enriched fraction.
+
+Everything in the vector is derived from information the paper's State
+exposes (labelling history, costs, estimated qualities, classifier) —
+never from latent ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.crowd.cost import BudgetManager
+from repro.crowd.history import UNANSWERED, LabellingHistory
+from repro.crowd.pool import AnnotatorPool
+from repro.exceptions import ConfigurationError
+
+#: Featurization width; the Q-network's input size.
+N_OBJECT_FEATURES = 6
+N_ANNOTATOR_FEATURES = 4
+N_GLOBAL_FEATURES = 3
+N_PAIR_FEATURES = N_OBJECT_FEATURES + N_ANNOTATOR_FEATURES + N_GLOBAL_FEATURES
+
+
+class LabellingState:
+    """A live view over the run's history / pool / budget, with featurizers."""
+
+    def __init__(
+        self,
+        history: LabellingHistory,
+        pool: AnnotatorPool,
+        budget: BudgetManager,
+        *,
+        answer_norm: int = 5,
+        mask_enriched: bool = True,
+    ) -> None:
+        """``mask_enriched`` controls whether classifier-enriched objects are
+        excluded from the action space.  The paper's worked example (Table
+        III) leaves the classifier-labelled object selectable, and with
+        non-sticky enrichment its provisional labels can still be improved
+        by human answers, so CrowdRL runs with ``mask_enriched=False``
+        unless enrichment is sticky."""
+        if answer_norm <= 0:
+            raise ConfigurationError(f"answer_norm must be > 0, got {answer_norm}")
+        self.history = history
+        self.pool = pool
+        self.budget = budget
+        self.answer_norm = answer_norm
+        self.mask_enriched = mask_enriched
+        self._classifier_proba: Optional[np.ndarray] = None
+        self._human_labelled: set[int] = set()
+        self._enriched: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Updates from the environment
+    # ------------------------------------------------------------------
+    def set_classifier_proba(self, proba: Optional[np.ndarray]) -> None:
+        """Install the classifier's current class probabilities for all objects."""
+        if proba is not None:
+            proba = np.asarray(proba, dtype=float)
+            expected = (self.history.n_objects, self.history.n_classes)
+            if proba.shape != expected:
+                raise ConfigurationError(
+                    f"classifier proba must have shape {expected}, got {proba.shape}"
+                )
+        self._classifier_proba = proba
+
+    def set_labelled(self, human: Sequence[int], enriched: Sequence[int]) -> None:
+        """Record which objects now carry labels (human-inferred / enriched)."""
+        self._human_labelled = set(int(i) for i in human)
+        self._enriched = set(int(i) for i in enriched)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def labelled_objects(self) -> set[int]:
+        return self._human_labelled | self._enriched
+
+    def unlabelled_objects(self) -> np.ndarray:
+        labelled = self.labelled_objects
+        return np.array(
+            [i for i in range(self.history.n_objects) if i not in labelled],
+            dtype=int,
+        )
+
+    def all_labelled(self) -> bool:
+        return len(self.labelled_objects) >= self.history.n_objects
+
+    # ------------------------------------------------------------------
+    # Featurization
+    # ------------------------------------------------------------------
+    def object_features(self) -> np.ndarray:
+        """Per-object feature block, shape ``(|O|, N_OBJECT_FEATURES)``."""
+        n = self.history.n_objects
+        n_classes = self.history.n_classes
+        answered = (self.history.matrix != UNANSWERED)
+        n_answers = answered.sum(axis=1).astype(float)
+
+        vote_share = np.zeros(n)       # majority vote share among answers
+        for i in np.nonzero(n_answers > 0)[0]:
+            counts = self.history.answer_counts(i)
+            vote_share[i] = counts.max() / counts.sum()
+        disagreement = np.where(n_answers > 0, 1.0 - vote_share, 0.0)
+
+        if self._classifier_proba is not None:
+            proba = self._classifier_proba
+            part = np.partition(proba, -2, axis=1)
+            clf_margin = part[:, -1] - part[:, -2]
+            clf_maxp = proba.max(axis=1)
+            clf_entropy = (
+                -(proba * np.log(proba + 1e-12)).sum(axis=1) / np.log(n_classes)
+            )
+        else:
+            clf_margin = np.zeros(n)
+            clf_maxp = np.full(n, 1.0 / n_classes)
+            clf_entropy = np.ones(n)
+
+        return np.column_stack([
+            np.minimum(n_answers / self.answer_norm, 1.0),
+            disagreement,
+            vote_share,
+            clf_margin,
+            clf_maxp,
+            clf_entropy,
+        ])
+
+    def annotator_features(self) -> np.ndarray:
+        """Per-annotator block (the State's cost/quality columns), ``(|W|, 4)``."""
+        costs = self.pool.costs
+        max_cost = costs.max()
+        qualities = self.pool.estimated_qualities()
+        experts = self.pool.expert_mask.astype(float)
+        loads = np.array([
+            self.history.annotator_load(j) for j in range(len(self.pool))
+        ], dtype=float)
+        load_norm = loads / max(self.history.n_objects, 1)
+        return np.column_stack([costs / max_cost, qualities, experts, load_norm])
+
+    def global_features(self) -> np.ndarray:
+        """Run-level block, shape ``(N_GLOBAL_FEATURES,)``."""
+        n = self.history.n_objects
+        return np.array([
+            self.budget.remaining / self.budget.total,
+            len(self._human_labelled) / n,
+            len(self._enriched) / n,
+        ])
+
+    def pair_features(self, object_id: int, annotator_id: int) -> np.ndarray:
+        """Featurize one candidate action ``(object_id, annotator_id)``."""
+        return np.concatenate([
+            self.object_features()[object_id],
+            self.annotator_features()[annotator_id],
+            self.global_features(),
+        ])
+
+    def feature_tensor(self) -> np.ndarray:
+        """Featurize every pair: shape ``(|O|, |W|, N_PAIR_FEATURES)``.
+
+        Built by broadcasting the three blocks, so the cost is
+        ``O(|O| + |W|)`` feature computations, not ``O(|O||W|)``.
+        """
+        obj = self.object_features()
+        ann = self.annotator_features()
+        glob = self.global_features()
+        n_obj, n_ann = obj.shape[0], ann.shape[0]
+        tensor = np.empty((n_obj, n_ann, N_PAIR_FEATURES))
+        tensor[:, :, :N_OBJECT_FEATURES] = obj[:, None, :]
+        tensor[:, :, N_OBJECT_FEATURES:N_OBJECT_FEATURES + N_ANNOTATOR_FEATURES] = (
+            ann[None, :, :]
+        )
+        tensor[:, :, -N_GLOBAL_FEATURES:] = glob[None, None, :]
+        return tensor
+
+    def action_mask(self) -> np.ndarray:
+        """Valid-action mask, shape ``(|O|, |W|)``.
+
+        Invalid (to be scored ``-inf``, Section IV-B): pairs whose object is
+        already labelled (by humans or enrichment), pairs already answered,
+        annotators the remaining budget cannot afford, and annotators that
+        have exhausted their answer capacity.
+        """
+        mask = np.ones((self.history.n_objects, len(self.pool)), dtype=bool)
+        if self.mask_enriched:
+            labelled = sorted(self.labelled_objects)
+        else:
+            labelled = sorted(self._human_labelled)
+        if labelled:
+            mask[labelled, :] = False
+        mask &= self.history.matrix == UNANSWERED
+        available = np.array([
+            self.budget.can_afford(a.cost)
+            and (a.capacity is None
+                 or self.history.annotator_load(a.annotator_id) < a.capacity)
+            for a in self.pool
+        ])
+        mask &= available[None, :]
+        return mask

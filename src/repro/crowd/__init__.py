@@ -1,0 +1,31 @@
+"""Crowdsourcing substrate: annotators, costs, answer logs, simulation.
+
+The paper's annotator model (Section II-A) describes each annotator by a
+latent ``|C| x |C|`` confusion matrix and a fixed per-answer cost.  This
+package implements that model directly: :class:`ConfusionMatrix` holds and
+estimates the matrix, :class:`Annotator` samples answers from the latent
+matrix, :class:`AnnotatorPool` builds heterogeneous worker/expert pools,
+:class:`BudgetManager` enforces the labelling budget B, and
+:class:`LabellingHistory` stores the ``|O| x |W|`` answer matrix that forms
+the first block of the RL State.
+"""
+
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.crowd.cost import BudgetManager, CostModel
+from repro.crowd.history import UNANSWERED, LabellingHistory
+from repro.crowd.platform import AnswerRecord, CrowdPlatform
+from repro.crowd.pool import AnnotatorPool
+
+__all__ = [
+    "ConfusionMatrix",
+    "Annotator",
+    "AnnotatorKind",
+    "AnnotatorPool",
+    "CostModel",
+    "BudgetManager",
+    "LabellingHistory",
+    "UNANSWERED",
+    "CrowdPlatform",
+    "AnswerRecord",
+]

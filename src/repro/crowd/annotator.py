@@ -1,0 +1,109 @@
+"""Annotators: crowd workers and domain experts.
+
+An :class:`Annotator` owns a *latent* confusion matrix used for answer
+simulation (invisible to learning algorithms, per the paper: "we do not know
+the true value of Pi in advance") plus a per-answer cost.  Learning-side
+estimates of the matrix live in :class:`repro.crowd.pool.AnnotatorPool` and
+the inference algorithms, never here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.crowd.confusion import ConfusionMatrix
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+class AnnotatorKind(enum.Enum):
+    """The two annotator types of the paper's heterogeneous pool."""
+
+    WORKER = "worker"
+    EXPERT = "expert"
+
+
+@dataclass
+class Annotator:
+    """One annotator with latent expertise and a fixed cost.
+
+    Attributes
+    ----------
+    annotator_id:
+        Index of this annotator in the pool (column in the State matrix).
+    kind:
+        Worker or expert; experts get quality bounding in joint inference.
+    confusion:
+        The latent ground-truth confusion matrix used only for simulation.
+    cost:
+        Monetary cost of one answer ("the cost of each annotator is stable
+        over the labelling process", Section III-B).
+    capacity:
+        Optional cap on how many answers this annotator will give in one
+        campaign (``None`` = unlimited, the paper's model).  Real platforms
+        impose per-worker task limits; the platform enforces the cap and
+        the State masks exhausted annotators.
+    """
+
+    annotator_id: int
+    kind: AnnotatorKind
+    confusion: ConfusionMatrix
+    cost: float
+    capacity: Optional[int] = None
+    _rng: np.random.Generator = field(default_factory=np.random.default_rng, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ConfigurationError(f"annotator cost must be > 0, got {self.cost}")
+        if self.capacity is not None and self.capacity <= 0:
+            raise ConfigurationError(
+                f"annotator capacity must be > 0 or None, got {self.capacity}"
+            )
+
+    @property
+    def is_expert(self) -> bool:
+        return self.kind is AnnotatorKind.EXPERT
+
+    @property
+    def true_quality(self) -> float:
+        """Latent scalar quality ``tr(Pi)/|C|`` — for simulation/reporting only."""
+        return self.confusion.quality()
+
+    def answer(self, true_class: int, rng: SeedLike = None,
+               difficulty: float = 0.0) -> int:
+        """Produce a (noisy) label for an object with class ``true_class``.
+
+        ``difficulty`` in [0, 1] interpolates the annotator's confusion
+        matrix toward uniform: at 0 the annotator performs at their normal
+        expertise, at 1 the object is so hard that every answer is a coin
+        flip — the paper's Section II example of an object "all the
+        annotators cannot correctly label".
+        """
+        if not 0.0 <= difficulty <= 1.0:
+            raise ConfigurationError(
+                f"difficulty must be in [0, 1], got {difficulty}"
+            )
+        generator = as_rng(rng) if rng is not None else self._rng
+        if difficulty == 0.0:
+            return self.confusion.sample_answer(true_class, generator)
+        n = self.confusion.n_classes
+        effective = ConfusionMatrix(
+            (1.0 - difficulty) * self.confusion.matrix
+            + difficulty * np.full((n, n), 1.0 / n)
+        )
+        return effective.sample_answer(true_class, generator)
+
+    def seeded(self, rng: SeedLike) -> "Annotator":
+        """Return a copy bound to a specific RNG stream (for reproducibility)."""
+        return Annotator(
+            annotator_id=self.annotator_id,
+            kind=self.kind,
+            confusion=self.confusion,
+            cost=self.cost,
+            capacity=self.capacity,
+            _rng=as_rng(rng),
+        )

@@ -1,0 +1,159 @@
+"""Adverse annotator behaviours for robustness experiments.
+
+Real crowd platforms see more than honest-but-noisy workers: spammers who
+answer uniformly at random, adversaries whose answers anti-correlate with
+the truth, position-biased workers who favour one class, and workers whose
+quality *drifts* as they fatigue.  The paper's model (a fixed confusion
+matrix per annotator) captures the first three directly as special
+matrices; drift violates the fixed-matrix assumption and is modelled by a
+stateful annotator, which the tests use for failure injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+def spammer_matrix(n_classes: int) -> ConfusionMatrix:
+    """A spammer answers uniformly regardless of the truth."""
+    return ConfusionMatrix.uniform(n_classes)
+
+
+def adversary_matrix(n_classes: int, strength: float = 0.9) -> ConfusionMatrix:
+    """An adversary answers a *wrong* class with probability ``strength``.
+
+    For binary tasks this is the label-flipping attacker; for multi-class
+    the wrong mass spreads uniformly over the incorrect labels.
+    """
+    if not 0.5 < strength <= 1.0:
+        raise ConfigurationError(
+            f"adversary strength must be in (0.5, 1], got {strength}"
+        )
+    correct = 1.0 - strength
+    return ConfusionMatrix.from_accuracy(n_classes, correct)
+
+
+def biased_matrix(n_classes: int, favoured_class: int,
+                  bias: float = 0.8, accuracy: float = 0.6) -> ConfusionMatrix:
+    """A worker who leans toward ``favoured_class`` whatever the truth.
+
+    Each row is a mixture: with weight ``bias`` the answer is the favoured
+    class; with the rest, the honest ``accuracy``-parameterised row.
+    """
+    if not 0 <= favoured_class < n_classes:
+        raise ConfigurationError(
+            f"favoured_class must be in [0, {n_classes}), got {favoured_class}"
+        )
+    if not 0.0 <= bias <= 1.0:
+        raise ConfigurationError(f"bias must be in [0, 1], got {bias}")
+    honest = ConfusionMatrix.from_accuracy(n_classes, accuracy).matrix
+    favoured = np.zeros((n_classes, n_classes))
+    favoured[:, favoured_class] = 1.0
+    return ConfusionMatrix(bias * favoured + (1.0 - bias) * honest)
+
+
+class DriftingAnnotator(Annotator):
+    """An annotator whose accuracy decays as they answer (fatigue drift).
+
+    Starts at ``start_accuracy``; after each answer the accuracy decays
+    geometrically toward ``floor_accuracy`` with rate ``decay``.  Violates
+    the paper's fixed-confusion-matrix assumption on purpose — used to test
+    how gracefully inference degrades when the model is misspecified.
+    """
+
+    def __init__(self, annotator_id: int, n_classes: int, *,
+                 start_accuracy: float = 0.9, floor_accuracy: float = 0.55,
+                 decay: float = 0.97, cost: float = 1.0,
+                 kind: AnnotatorKind = AnnotatorKind.WORKER,
+                 rng: SeedLike = None) -> None:
+        if not 0.0 < floor_accuracy <= start_accuracy <= 1.0:
+            raise ConfigurationError(
+                "need 0 < floor_accuracy <= start_accuracy <= 1, got "
+                f"({floor_accuracy}, {start_accuracy})"
+            )
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        super().__init__(
+            annotator_id=annotator_id,
+            kind=kind,
+            confusion=ConfusionMatrix.from_accuracy(n_classes, start_accuracy),
+            cost=cost,
+            _rng=as_rng(rng),
+        )
+        self.n_classes = n_classes
+        self.floor_accuracy = floor_accuracy
+        self.decay = decay
+        self._accuracy = start_accuracy
+
+    @property
+    def current_accuracy(self) -> float:
+        return self._accuracy
+
+    def answer(self, true_class: int, rng: SeedLike = None,
+               difficulty: float = 0.0) -> int:
+        """Answer with the *current* (decayed) accuracy, then decay it.
+
+        ``difficulty`` interpolates toward a coin flip exactly as for the
+        base :class:`~repro.crowd.annotator.Annotator`.
+        """
+        if not 0.0 <= difficulty <= 1.0:
+            raise ConfigurationError(
+                f"difficulty must be in [0, 1], got {difficulty}"
+            )
+        generator = as_rng(rng) if rng is not None else self._rng
+        effective_accuracy = (
+            (1.0 - difficulty) * self._accuracy + difficulty / self.n_classes
+        )
+        current = ConfusionMatrix.from_accuracy(
+            self.n_classes, effective_accuracy
+        )
+        result = current.sample_answer(true_class, generator)
+        # Geometric decay toward the floor after each answer.
+        self._accuracy = (
+            self.floor_accuracy
+            + (self._accuracy - self.floor_accuracy) * self.decay
+        )
+        return result
+
+
+def contaminate_pool(annotators: list[Annotator], *,
+                     n_spammers: int = 0, n_adversaries: int = 0,
+                     rng: SeedLike = None) -> list[Annotator]:
+    """Replace the *last* workers of a pool with spammers/adversaries.
+
+    Returns a new annotator list with the same ids/costs/kinds, so a
+    platform built from it is directly comparable to the clean pool.
+    Experts are never contaminated (platforms vet them).
+    """
+    if n_spammers < 0 or n_adversaries < 0:
+        raise ConfigurationError("contamination counts must be >= 0")
+    rng = as_rng(rng)
+    workers = [a for a in annotators if not a.is_expert]
+    if n_spammers + n_adversaries > len(workers):
+        raise ConfigurationError(
+            f"cannot contaminate {n_spammers + n_adversaries} of "
+            f"{len(workers)} workers"
+        )
+    n_classes = annotators[0].confusion.n_classes
+    to_corrupt = [a.annotator_id for a in workers][::-1]
+    replacements = {}
+    for i in range(n_spammers):
+        replacements[to_corrupt[i]] = spammer_matrix(n_classes)
+    for i in range(n_spammers, n_spammers + n_adversaries):
+        replacements[to_corrupt[i]] = adversary_matrix(n_classes)
+    out = []
+    for a in annotators:
+        if a.annotator_id in replacements:
+            out.append(Annotator(
+                annotator_id=a.annotator_id, kind=a.kind,
+                confusion=replacements[a.annotator_id], cost=a.cost,
+                _rng=rng.spawn(1)[0],
+            ))
+        else:
+            out.append(a)
+    return out

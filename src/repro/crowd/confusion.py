@@ -1,0 +1,139 @@
+"""Confusion-matrix model of annotator expertise (paper Section II-A).
+
+``pi[c, l]`` is the probability that an annotator answers class ``l`` for an
+object whose true class is ``c``.  The paper summarises a matrix into a
+scalar quality ``tr(Pi) / |C|`` (trace over class count), used in the State's
+quality column; :meth:`ConfusionMatrix.quality` implements that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_probability_matrix
+
+
+class ConfusionMatrix:
+    """A row-stochastic ``|C| x |C|`` annotator expertise matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = check_probability_matrix(matrix, "confusion matrix")
+
+    @property
+    def n_classes(self) -> int:
+        return self.matrix.shape[0]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, n_classes: int) -> "ConfusionMatrix":
+        """A maximally uninformative annotator (all answers equally likely)."""
+        if n_classes < 2:
+            raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+        return cls(np.full((n_classes, n_classes), 1.0 / n_classes))
+
+    @classmethod
+    def from_accuracy(cls, n_classes: int, accuracy: float) -> "ConfusionMatrix":
+        """Symmetric matrix: ``accuracy`` on the diagonal, rest uniform.
+
+        This is the one-parameter "homogeneous" annotator used throughout
+        the crowdsourcing literature and by our dataset generators.
+        """
+        if n_classes < 2:
+            raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+        if not 0.0 <= accuracy <= 1.0:
+            raise ConfigurationError(f"accuracy must be in [0, 1], got {accuracy}")
+        off = (1.0 - accuracy) / (n_classes - 1)
+        matrix = np.full((n_classes, n_classes), off)
+        np.fill_diagonal(matrix, accuracy)
+        return cls(matrix)
+
+    @classmethod
+    def random(cls, n_classes: int, *, diagonal_low: float, diagonal_high: float,
+               rng: SeedLike = None) -> "ConfusionMatrix":
+        """Random annotator with per-class diagonal in the given range.
+
+        Off-diagonal mass is split with a random Dirichlet draw so annotators
+        have class-dependent biases (the paper explicitly makes no assumption
+        about the worker quality distribution; this gives heterogeneity).
+        """
+        rng = as_rng(rng)
+        if not 0.0 <= diagonal_low <= diagonal_high <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= diagonal_low <= diagonal_high <= 1, got "
+                f"({diagonal_low}, {diagonal_high})"
+            )
+        matrix = np.zeros((n_classes, n_classes))
+        for c in range(n_classes):
+            diag = rng.uniform(diagonal_low, diagonal_high)
+            matrix[c, c] = diag
+            if n_classes > 1:
+                off = rng.dirichlet(np.ones(n_classes - 1)) * (1.0 - diag)
+                matrix[c, np.arange(n_classes) != c] = off
+        return cls(matrix)
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def sample_answer(self, true_class: int, rng: SeedLike = None) -> int:
+        """Draw a noisy answer for an object of class ``true_class``."""
+        if not 0 <= true_class < self.n_classes:
+            raise ConfigurationError(
+                f"true_class must be in [0, {self.n_classes}), got {true_class}"
+            )
+        rng = as_rng(rng)
+        return int(rng.choice(self.n_classes, p=self.matrix[true_class]))
+
+    def quality(self) -> float:
+        """The paper's scalar quality: ``tr(Pi) / |C|``."""
+        return float(np.trace(self.matrix) / self.n_classes)
+
+    def likelihood(self, true_class: int, answer: int) -> float:
+        """``p(answer | true_class)`` under this matrix."""
+        return float(self.matrix[true_class, answer])
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    @classmethod
+    def estimate_from_counts(cls, counts: np.ndarray,
+                             smoothing: float = 1.0) -> "ConfusionMatrix":
+        """Estimate a matrix from a ``(true, answered)`` count table.
+
+        Laplace ``smoothing`` keeps rows valid when an annotator has never
+        seen a class, matching the paper's soft-count update (Section V-A2)
+        in the hard-count limit.
+        """
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+            raise ConfigurationError(
+                f"counts must be square, got shape {counts.shape}"
+            )
+        if smoothing < 0:
+            raise ConfigurationError(f"smoothing must be >= 0, got {smoothing}")
+        smoothed = counts + smoothing
+        return cls(smoothed / smoothed.sum(axis=1, keepdims=True))
+
+    def with_quality_floor(self, floor: float) -> "ConfusionMatrix":
+        """Return a copy whose diagonal entries are at least ``floor``.
+
+        Implements the paper's expert-quality bounding (Section V-A2): any
+        class whose diagonal dips below the floor is reset to ``floor`` with
+        the remaining mass spread uniformly off-diagonal, so EM cannot
+        demote an expert.
+        """
+        if not 0.0 < floor < 1.0:
+            raise ConfigurationError(f"floor must be in (0, 1), got {floor}")
+        matrix = self.matrix.copy()
+        k = self.n_classes
+        for c in range(k):
+            if matrix[c, c] < floor:
+                matrix[c] = (1.0 - floor) / (k - 1)
+                matrix[c, c] = floor
+        return ConfusionMatrix(matrix)
+
+    def __repr__(self) -> str:
+        return f"ConfusionMatrix(quality={self.quality():.3f}, |C|={self.n_classes})"

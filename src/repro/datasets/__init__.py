@@ -1,0 +1,26 @@
+"""Datasets: synthetic stand-ins for the paper's three real datasets.
+
+The paper evaluates on two proprietary TAL video datasets (Speech12,
+Speech3) and the Fashion 10000 social-image dataset, none of which ship
+with this environment.  Per the substitution policy in DESIGN.md, this
+package generates synthetic datasets that preserve every property the
+evaluation depends on: dataset sizes, binary labels, the contextual (C) /
+prosodic (P) / concatenated (CP) feature-view structure with complementary
+signal (so CP beats C or P alone), and the relative difficulty ordering
+(speech harder than fashion).
+"""
+
+from repro.datasets.base import LabelledDataset
+from repro.datasets.fashion import make_fashion
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.speech import make_speech
+from repro.datasets.synthetic import make_blobs
+
+__all__ = [
+    "LabelledDataset",
+    "make_blobs",
+    "make_speech",
+    "make_fashion",
+    "load_dataset",
+    "DATASET_NAMES",
+]

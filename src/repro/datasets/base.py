@@ -1,0 +1,111 @@
+"""The dataset container shared by generators, frameworks and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike, as_rng
+
+
+from typing import Optional
+
+
+@dataclass
+class LabelledDataset:
+    """Feature matrix plus ground-truth labels.
+
+    ``labels`` are only consumed by the answer simulator and the evaluation
+    code; labelling frameworks never see them.  ``difficulty`` is an
+    optional per-object hardness in [0, 1] that the platform (when given
+    it) uses to damp annotator expertise — hard objects get noisier human
+    answers, the paper's Section II scenario.
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+    metadata: dict = field(default_factory=dict)
+    difficulty: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=float)
+        self.labels = np.asarray(self.labels, dtype=int)
+        if self.features.ndim != 2:
+            raise DatasetError(
+                f"features must be 2-D, got shape {self.features.shape}"
+            )
+        if self.labels.shape != (self.features.shape[0],):
+            raise DatasetError(
+                f"labels must have shape ({self.features.shape[0]},), got "
+                f"{self.labels.shape}"
+            )
+        if self.n_classes < 2:
+            raise DatasetError(f"n_classes must be >= 2, got {self.n_classes}")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.n_classes
+        ):
+            raise DatasetError(
+                f"labels must lie in [0, {self.n_classes})"
+            )
+        if self.difficulty is not None:
+            self.difficulty = np.asarray(self.difficulty, dtype=float)
+            if self.difficulty.shape != self.labels.shape:
+                raise DatasetError(
+                    f"difficulty must have shape {self.labels.shape}, got "
+                    f"{self.difficulty.shape}"
+                )
+            if self.difficulty.size and (
+                self.difficulty.min() < 0 or self.difficulty.max() > 1
+            ):
+                raise DatasetError("difficulty must lie in [0, 1]")
+
+    @property
+    def n_objects(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def class_balance(self) -> np.ndarray:
+        """Fraction of objects per class."""
+        counts = np.bincount(self.labels, minlength=self.n_classes)
+        return counts / counts.sum()
+
+    def subsample(self, fraction: float, rng: SeedLike = None) -> "LabelledDataset":
+        """Random subsample (the Fig. 5 scalability knob), stratified by class.
+
+        Stratification keeps every class represented at small fractions, so
+        downstream classifiers always see a valid multi-class problem.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = as_rng(rng)
+        keep: list[np.ndarray] = []
+        for c in range(self.n_classes):
+            members = np.flatnonzero(self.labels == c)
+            k = max(1, int(round(members.size * fraction)))
+            keep.append(rng.choice(members, size=min(k, members.size), replace=False))
+        idx = np.sort(np.concatenate(keep))
+        return LabelledDataset(
+            name=f"{self.name}@{fraction:g}",
+            features=self.features[idx],
+            labels=self.labels[idx],
+            n_classes=self.n_classes,
+            metadata={**self.metadata, "subsample_fraction": fraction},
+            difficulty=(
+                self.difficulty[idx] if self.difficulty is not None else None
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelledDataset({self.name!r}, n={self.n_objects}, "
+            f"d={self.n_features}, |C|={self.n_classes})"
+        )

@@ -1,0 +1,43 @@
+"""Name-based dataset registry matching the paper's labels.
+
+``load_dataset("S12CP")`` etc. returns the corresponding substitute; the
+names are exactly those on the x-axes of Figures 4-8.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import LabelledDataset
+from repro.datasets.fashion import make_fashion
+from repro.datasets.speech import make_speech
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike
+
+#: Every dataset name used in the paper's evaluation, in figure order.
+DATASET_NAMES = ("S12C", "S12P", "S12CP", "S3C", "S3P", "S3CP", "Fashion")
+
+
+def load_dataset(name: str, *, scale: float = 1.0,
+                 rng: SeedLike = None) -> LabelledDataset:
+    """Load a dataset by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive).
+    scale:
+        Size multiplier forwarded to the generator (1.0 = paper size).
+    """
+    key = name.strip()
+    lowered = key.lower()
+    if lowered == "fashion":
+        return make_fashion(scale=scale, rng=rng)
+    upper = key.upper()
+    for grade in ("12", "3"):
+        prefix = f"S{grade}"
+        if upper.startswith(prefix):
+            view = upper[len(prefix):]
+            if view in ("C", "P", "CP"):
+                return make_speech(grade, view, scale=scale, rng=rng)
+    raise DatasetError(
+        f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the CrowdRL reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes separate configuration mistakes (caller
+error) from runtime conditions (budget exhaustion, failed convergence).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class BudgetExhaustedError(ReproError, RuntimeError):
+    """An operation required budget that the budget manager no longer has."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset is malformed or an unknown dataset name was requested."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model was used for prediction before being fitted."""

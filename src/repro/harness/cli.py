@@ -1,0 +1,100 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.harness.cli fig4 --scale 0.05 --seeds 2
+    python -m repro.harness.cli fig8 --scale 0.1
+    python -m repro.harness.cli run --framework CrowdRL --dataset S12CP
+
+The figure subcommands print the same rows/series the paper plots (see
+:mod:`repro.harness.figures`); ``run`` executes a single framework on a
+single dataset and prints its metric report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.experiment import (
+    FRAMEWORK_NAMES,
+    ExperimentSetting,
+    run_experiment,
+)
+from repro.harness.figures import fig4, fig5, fig6, fig7, fig8
+from repro.harness.report import render_figure, render_figures
+
+_FIGURES = {
+    "fig4": lambda **kw: fig4(**kw),
+    "fig5": lambda **kw: fig5(**kw),
+    "fig6": lambda **kw: fig6(**kw),
+    "fig7": lambda **kw: fig7(**kw),
+    "fig8": lambda **kw: [fig8(**kw)],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate the CrowdRL paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _FIGURES:
+        fig_parser = sub.add_parser(name, help=f"regenerate {name}")
+        fig_parser.add_argument("--scale", type=float, default=0.05,
+                                help="dataset scale (1.0 = paper size)")
+        fig_parser.add_argument("--seeds", type=int, default=1,
+                                help="seeds to average per configuration")
+        fig_parser.add_argument("--seed", type=int, default=0,
+                                help="base random seed")
+
+    run_parser = sub.add_parser("run", help="run one framework once")
+    run_parser.add_argument("--framework", required=True,
+                            choices=sorted(FRAMEWORK_NAMES + ("M1", "M2", "M3")))
+    run_parser.add_argument("--dataset", required=True,
+                            help="paper dataset name, e.g. S12CP or Fashion")
+    run_parser.add_argument("--scale", type=float, default=0.05)
+    run_parser.add_argument("--budget", type=float, default=None)
+    run_parser.add_argument("--workers", type=int, default=3)
+    run_parser.add_argument("--experts", type=int, default=2)
+    run_parser.add_argument("--alpha", type=float, default=0.05)
+    run_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command in _FIGURES:
+        panels = _FIGURES[args.command](
+            scale=args.scale, n_seeds=args.seeds, seed=args.seed
+        )
+        print(render_figures(panels))
+        return 0
+
+    setting = ExperimentSetting(
+        dataset_name=args.dataset,
+        scale=args.scale,
+        n_workers=args.workers,
+        n_experts=args.experts,
+        budget=args.budget,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    result = run_experiment(args.framework, setting)
+    report = result.report
+    print(f"framework : {args.framework}")
+    print(f"dataset   : {args.dataset} (n={report.n_evaluated})")
+    print(f"budget    : {result.outcome.spent:.0f} / "
+          f"{setting.resolve_budget():.0f} spent")
+    print(f"iterations: {result.outcome.iterations}")
+    print(f"sources   : {result.outcome.source_counts()}")
+    print(f"precision={report.precision:.3f} recall={report.recall:.3f} "
+          f"f1={report.f1:.3f} accuracy={report.accuracy:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Plain-text rendering of figure results."""
+
+from __future__ import annotations
+
+from repro.harness.figures import FigureResult
+from repro.utils.tables import format_table
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render one figure panel as an aligned table.
+
+    Rows are series (frameworks); columns are the x-axis values, matching
+    how the paper's grouped-bar / line figures read.
+    """
+    headers = [f"{result.figure} [{result.metric}]", *map(str, result.x_values)]
+    rows = [
+        [name, *values] for name, values in result.series.items()
+    ]
+    return format_table(headers, rows)
+
+
+def render_figures(results: list[FigureResult]) -> str:
+    """Render several panels separated by blank lines."""
+    return "\n\n".join(render_figure(r) for r in results)

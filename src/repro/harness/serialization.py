@@ -1,0 +1,103 @@
+"""Persist run outcomes and trained policies to disk.
+
+Outcomes serialize to JSON (portable, diff-able); policy weights to ``.npz``
+(numpy arrays).  Both round-trip exactly, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.result import LabellingOutcome
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def save_outcome(outcome: LabellingOutcome, path: PathLike) -> None:
+    """Write a :class:`LabellingOutcome` to a JSON file."""
+    payload = {
+        "framework": outcome.framework,
+        "final_labels": outcome.final_labels.tolist(),
+        "label_sources": outcome.label_sources.tolist(),
+        "spent": outcome.spent,
+        "budget": outcome.budget,
+        "iterations": outcome.iterations,
+        "reward_history": list(outcome.reward_history),
+        "extras": _jsonable(outcome.extras),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_outcome(path: PathLike) -> LabellingOutcome:
+    """Read a :class:`LabellingOutcome` back from JSON."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        return LabellingOutcome(
+            framework=payload["framework"],
+            final_labels=np.asarray(payload["final_labels"], dtype=int),
+            label_sources=np.asarray(payload["label_sources"], dtype=int),
+            spent=float(payload["spent"]),
+            budget=float(payload["budget"]),
+            iterations=int(payload["iterations"]),
+            reward_history=[float(r) for r in payload["reward_history"]],
+            extras=payload.get("extras", {}),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"outcome file missing field: {exc}") from exc
+
+
+def save_policy_weights(weights, path: PathLike) -> None:
+    """Write Q-network weights (as returned by ``get_policy_weights``).
+
+    Parameter-free layers (activations) appear as empty dicts in the weight
+    list; the total layer count is stored so they survive the round trip.
+    """
+    arrays = {"_n_layers": np.array(len(weights))}
+    for layer_index, layer in enumerate(weights):
+        for name, value in layer.items():
+            arrays[f"layer{layer_index}.{name}"] = value
+    np.savez(Path(path), **arrays)
+
+
+def load_policy_weights(path: PathLike):
+    """Read Q-network weights saved by :func:`save_policy_weights`."""
+    with np.load(Path(path)) as data:
+        if "_n_layers" not in data.files:
+            raise ConfigurationError("weight file missing layer count")
+        n_layers = int(data["_n_layers"])
+        layers: dict[int, dict[str, np.ndarray]] = {
+            i: {} for i in range(n_layers)
+        }
+        for key in data.files:
+            if key == "_n_layers":
+                continue
+            prefix, name = key.split(".", 1)
+            if not prefix.startswith("layer"):
+                raise ConfigurationError(f"unexpected weight key {key!r}")
+            index = int(prefix[len("layer"):])
+            if index not in layers:
+                raise ConfigurationError(
+                    f"weight key {key!r} exceeds layer count {n_layers}"
+                )
+            layers[index][name] = data[key]
+    return [layers[i] for i in range(n_layers)]
+
+
+def _jsonable(value):
+    """Best-effort conversion of extras to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

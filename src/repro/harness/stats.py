@@ -1,0 +1,97 @@
+"""Seed-level statistics for experiment results.
+
+Single-seed figure cells are noisy at bench scale; this module provides the
+aggregation the harness and downstream analyses use: mean / std /
+percentile-bootstrap confidence intervals over per-seed metric values, and
+a paired comparison helper for "does framework A beat framework B on the
+same seeds?" questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over seeds."""
+
+    mean: float
+    std: float
+    n: int
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.3f} ± {self.std:.3f} "
+                f"[{self.ci_low:.3f}, {self.ci_high:.3f}] (n={self.n})")
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95,
+              n_bootstrap: int = 2000, rng: SeedLike = 0) -> MetricSummary:
+    """Mean, std and a percentile-bootstrap CI of ``values``.
+
+    With a single value the CI degenerates to that value.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("values must be a non-empty 1-D sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_bootstrap <= 0:
+        raise ConfigurationError(f"n_bootstrap must be > 0, got {n_bootstrap}")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    if arr.size == 1:
+        return MetricSummary(mean, std, 1, mean, mean)
+    generator = as_rng(rng)
+    resamples = generator.choice(arr, size=(n_bootstrap, arr.size),
+                                 replace=True)
+    boot_means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(boot_means, [alpha, 1.0 - alpha])
+    return MetricSummary(mean, std, int(arr.size), float(lo), float(hi))
+
+
+def paired_win_rate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of seeds where ``a`` strictly beats ``b`` (ties count half).
+
+    Both sequences must be aligned per seed (the budget-fair runner
+    guarantees this when both frameworks ran the same seeds).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ConfigurationError(
+            "paired sequences must be equal-length, non-empty and 1-D"
+        )
+    wins = (a > b).sum() + 0.5 * (a == b).sum()
+    return float(wins / a.size)
+
+
+def bootstrap_mean_difference(
+    a: Sequence[float], b: Sequence[float], *, confidence: float = 0.95,
+    n_bootstrap: int = 2000, rng: SeedLike = 0,
+) -> tuple[float, float, float]:
+    """Paired bootstrap of ``mean(a - b)``: (difference, ci_low, ci_high).
+
+    A CI excluding zero indicates a seed-robust gap between frameworks.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ConfigurationError(
+            "paired sequences must be equal-length, non-empty and 1-D"
+        )
+    diffs = a - b
+    summary = summarize(diffs, confidence=confidence,
+                        n_bootstrap=n_bootstrap, rng=rng)
+    return summary.mean, summary.ci_low, summary.ci_high

@@ -1,0 +1,68 @@
+"""Per-iteration run tracing for CrowdRL episodes.
+
+Attach a :class:`RunTrace` to a :class:`~repro.core.framework.CrowdRL`
+instance and every labelling iteration appends an :class:`IterationRecord`
+— budget spent so far, human-truth and enrichment counts, the iteration's
+reward and cost.  The trace yields the budget/coverage curves used when
+analysing a run (e.g. "how fast does enrichment take over?") without
+touching the run's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot taken at the end of one labelling iteration."""
+
+    iteration: int
+    spent: float
+    n_truths: int
+    n_enriched: int
+    reward: float
+    iteration_cost: float
+    n_assignments: int
+
+
+@dataclass
+class RunTrace:
+    """Accumulates :class:`IterationRecord` snapshots over one episode."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def record(self, snapshot: IterationRecord) -> None:
+        self.records.append(snapshot)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_iterations(self) -> int:
+        return len(self.records)
+
+    def budget_curve(self) -> list[tuple[int, float]]:
+        """(iteration, cumulative spend) pairs."""
+        return [(r.iteration, r.spent) for r in self.records]
+
+    def coverage_curve(self) -> list[tuple[int, int, int]]:
+        """(iteration, human truths, enriched) pairs."""
+        return [(r.iteration, r.n_truths, r.n_enriched) for r in self.records]
+
+    def reward_curve(self) -> list[tuple[int, float]]:
+        return [(r.iteration, r.reward) for r in self.records]
+
+    def total_cost(self) -> float:
+        return sum(r.iteration_cost for r in self.records)
+
+    def to_rows(self) -> list[list]:
+        """Rows for :func:`repro.utils.tables.format_table`."""
+        return [
+            [r.iteration, f"{r.spent:.0f}", r.n_truths, r.n_enriched,
+             r.reward, r.n_assignments]
+            for r in self.records
+        ]

@@ -1,0 +1,120 @@
+"""Dawid–Skene expectation-maximisation truth inference.
+
+The classic confusion-matrix EM [Dawid & Skene 1979; paper ref 48 surveys
+it].  E-step: posterior over each object's true label given current
+confusion matrices and class prior.  M-step: re-estimate confusion matrices
+from soft counts and the prior from posterior mass.  DLTA and IDLE use this
+as their inference component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crowd.confusion import ConfusionMatrix
+from repro.exceptions import ConfigurationError
+from repro.inference.base import AnswerMap, InferenceResult, TruthInference
+
+
+class DawidSkene(TruthInference):
+    """Confusion-matrix EM.
+
+    Parameters
+    ----------
+    max_iter:
+        Iteration cap for the EM loop.
+    tol:
+        Convergence threshold on the max-abs change of posteriors.
+    smoothing:
+        Laplace smoothing added to the soft confusion counts so no entry
+        collapses to zero probability.
+    class_prior:
+        Optional fixed class prior; learned from posteriors when omitted.
+    """
+
+    def __init__(self, *, max_iter: int = 100, tol: float = 1e-5,
+                 smoothing: float = 0.1,
+                 class_prior: Optional[np.ndarray] = None) -> None:
+        if max_iter <= 0:
+            raise ConfigurationError(f"max_iter must be > 0, got {max_iter}")
+        if tol <= 0:
+            raise ConfigurationError(f"tol must be > 0, got {tol}")
+        if smoothing < 0:
+            raise ConfigurationError(f"smoothing must be >= 0, got {smoothing}")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.class_prior = class_prior
+
+    def infer(self, answers: AnswerMap, n_classes: int,
+              n_annotators: int) -> InferenceResult:
+        self._validate(answers, n_classes, n_annotators)
+        object_ids = sorted(answers)
+        if not object_ids:
+            return InferenceResult(posteriors={}, labels={})
+
+        # Initialise posteriors with majority voting.
+        posteriors = {}
+        for oid in object_ids:
+            counts = np.zeros(n_classes)
+            for answer in answers[oid].values():
+                counts[answer] += 1
+            posteriors[oid] = counts / counts.sum()
+
+        prior = (
+            np.asarray(self.class_prior, dtype=float)
+            if self.class_prior is not None
+            else np.full(n_classes, 1.0 / n_classes)
+        )
+        confusions = [
+            np.full((n_classes, n_classes), 1.0 / n_classes)
+            for _ in range(n_annotators)
+        ]
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            # M-step: soft confusion counts and prior.
+            counts = [
+                np.full((n_classes, n_classes), self.smoothing)
+                for _ in range(n_annotators)
+            ]
+            prior_mass = np.full(n_classes, self.smoothing)
+            for oid in object_ids:
+                post = posteriors[oid]
+                prior_mass += post
+                for annotator_id, answer in answers[oid].items():
+                    counts[annotator_id][:, answer] += post
+            confusions = [c / c.sum(axis=1, keepdims=True) for c in counts]
+            if self.class_prior is None:
+                prior = prior_mass / prior_mass.sum()
+
+            # E-step: posterior per object.
+            max_delta = 0.0
+            for oid in object_ids:
+                log_post = np.log(prior + 1e-12)
+                for annotator_id, answer in answers[oid].items():
+                    log_post += np.log(confusions[annotator_id][:, answer] + 1e-12)
+                log_post -= log_post.max()
+                post = np.exp(log_post)
+                post /= post.sum()
+                max_delta = max(max_delta, float(np.abs(post - posteriors[oid]).max()))
+                posteriors[oid] = post
+
+            if max_delta < self.tol:
+                converged = True
+                break
+
+        result_confusions = {
+            j: ConfusionMatrix(confusions[j]) for j in range(n_annotators)
+            if any(j in answers[oid] for oid in object_ids)
+        }
+        return InferenceResult(
+            posteriors=posteriors,
+            labels=self._posterior_to_labels(posteriors),
+            confusions=result_confusions,
+            iterations=iteration,
+            converged=converged,
+        )

@@ -1,0 +1,90 @@
+"""Helpers for bringing external answer data into the inference API.
+
+Users with their own crowdsourcing logs (e.g. a CSV of
+``object, annotator, answer`` rows or a dense matrix with a sentinel for
+"unanswered") can convert them to the :data:`~repro.inference.base.AnswerMap`
+every inference algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.inference.base import AnswerMap
+
+
+def answers_from_matrix(matrix: np.ndarray, *,
+                        unanswered: int = -1) -> AnswerMap:
+    """Convert a dense ``(n_objects, n_annotators)`` answer matrix.
+
+    Entries equal to ``unanswered`` are skipped; objects with no answers do
+    not appear in the result (inference algorithms require non-empty
+    answer sets).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"answer matrix must be 2-D, got shape {matrix.shape}"
+        )
+    answers: AnswerMap = {}
+    for i in range(matrix.shape[0]):
+        row = matrix[i]
+        votes = {
+            int(j): int(row[j])
+            for j in np.nonzero(row != unanswered)[0]
+        }
+        if votes:
+            answers[i] = votes
+    return answers
+
+
+def answers_from_records(
+    records: Iterable[Tuple[int, int, int]]
+) -> AnswerMap:
+    """Convert ``(object_id, annotator_id, answer)`` triples.
+
+    Duplicate (object, annotator) pairs are rejected — they would silently
+    overwrite one another.
+    """
+    answers: AnswerMap = {}
+    for object_id, annotator_id, answer in records:
+        object_id, annotator_id, answer = (
+            int(object_id), int(annotator_id), int(answer)
+        )
+        if object_id < 0 or annotator_id < 0 or answer < 0:
+            raise ConfigurationError(
+                f"ids and answers must be >= 0, got "
+                f"({object_id}, {annotator_id}, {answer})"
+            )
+        votes = answers.setdefault(object_id, {})
+        if annotator_id in votes:
+            raise ConfigurationError(
+                f"duplicate record for object {object_id}, annotator "
+                f"{annotator_id}"
+            )
+        votes[annotator_id] = answer
+    return answers
+
+
+def answers_to_matrix(answers: AnswerMap, n_objects: int, n_annotators: int,
+                      *, unanswered: int = -1) -> np.ndarray:
+    """Inverse of :func:`answers_from_matrix`."""
+    if n_objects <= 0 or n_annotators <= 0:
+        raise ConfigurationError("n_objects and n_annotators must be > 0")
+    matrix = np.full((n_objects, n_annotators), unanswered, dtype=int)
+    for object_id, votes in answers.items():
+        if not 0 <= object_id < n_objects:
+            raise ConfigurationError(
+                f"object id {object_id} out of range [0, {n_objects})"
+            )
+        for annotator_id, answer in votes.items():
+            if not 0 <= annotator_id < n_annotators:
+                raise ConfigurationError(
+                    f"annotator id {annotator_id} out of range "
+                    f"[0, {n_annotators})"
+                )
+            matrix[object_id, annotator_id] = answer
+    return matrix

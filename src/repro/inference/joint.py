@@ -1,0 +1,222 @@
+"""CrowdRL joint truth inference (paper Section V).
+
+Rather than treating the trained classifier as "just another annotator"
+(which compounds annotator noise with model bias), the joint model runs one
+EM over three coupled unknowns:
+
+* the latent true labels ``y_i`` (E-step posterior ``q(y_i)``),
+* each annotator's confusion matrix ``Pi^j`` (M-step soft counts), and
+* the classifier parameters ``Theta`` (M-step: retrain on soft labels).
+
+E-step (Eq. 8's posterior):  ``q(y_i = c)  propto  p(y_i = c | phi(x_i);
+Theta_last) * prod_j p(yhat_i^j | y_i = c, Pi^j_last)``.
+
+M-step confusion update uses soft counts (the paper's hard-indicator
+formula in the soft-posterior limit), and expert rows are bounded below so
+an EM run cannot demote an expert (Section V-A2; see DESIGN.md for how we
+resolve the garbled printed formula).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.crowd.confusion import ConfusionMatrix
+from repro.exceptions import ConfigurationError
+from repro.inference.base import AnswerMap, InferenceResult, TruthInference
+
+
+class JointInference(TruthInference):
+    """EM over classifier parameters, confusion matrices and truths.
+
+    Parameters
+    ----------
+    classifier:
+        Any :class:`~repro.classifiers.base.Classifier`; retrained on soft
+        labels every M-step (its final fit is exposed as
+        :attr:`fitted_classifier` and doubles as the framework's ``phi``).
+    features:
+        ``(n_objects, n_features)`` matrix indexed by object id.
+    expert_mask:
+        Boolean per-annotator vector; ``True`` rows get quality bounding.
+    expert_floor:
+        Minimum diagonal confusion entry for experts (``1 - epsilon`` in the
+        paper's notation; default 0.9).
+    classifier_weight:
+        Multiplier on the classifier's log-likelihood contribution in the
+        E-step.  ``1.0`` is the paper's model; ``0.0`` disables the
+        classifier (useful for ablations).
+    classifier_clip:
+        The classifier's probabilities are clipped into
+        ``[1-clip, clip]`` before entering the E-step, so the classifier
+        contributes like one reasonably good annotator instead of an
+        infinitely confident one.  Without this the EM feedback loop
+        (classifier trained on posteriors that the classifier itself
+        shaped) can amplify early mistakes — the very composite-bias
+        problem Section V warns about.
+    max_iter / tol / smoothing:
+        EM controls, matching :class:`~repro.inference.dawid_skene.DawidSkene`.
+    learn_prior:
+        When False (default) the class prior stays uniform.  Learning the
+        prior jointly with the classifier term invites a slow runaway —
+        each EM sweep tilts the prior a little further toward the majority
+        posterior until everything collapses onto one class — so it is off
+        unless the caller knows the classes are genuinely imbalanced.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        features: np.ndarray,
+        *,
+        expert_mask: Optional[Sequence[bool]] = None,
+        expert_floor: float = 0.9,
+        classifier_weight: float = 1.0,
+        classifier_clip: float = 0.8,
+        max_iter: int = 30,
+        tol: float = 1e-4,
+        smoothing: float = 1.0,
+        refit_every: int = 1,
+        learn_prior: bool = False,
+    ) -> None:
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ConfigurationError(
+                f"features must be 2-D, got shape {features.shape}"
+            )
+        if not 0.0 < expert_floor < 1.0:
+            raise ConfigurationError(
+                f"expert_floor must be in (0, 1), got {expert_floor}"
+            )
+        if classifier_weight < 0:
+            raise ConfigurationError(
+                f"classifier_weight must be >= 0, got {classifier_weight}"
+            )
+        if max_iter <= 0 or refit_every <= 0:
+            raise ConfigurationError("max_iter and refit_every must be > 0")
+        if not 0.5 < classifier_clip < 1.0:
+            raise ConfigurationError(
+                f"classifier_clip must be in (0.5, 1), got {classifier_clip}"
+            )
+        self.classifier_clip = classifier_clip
+        self.classifier = classifier
+        self.features = features
+        self.expert_mask = (
+            np.asarray(expert_mask, dtype=bool) if expert_mask is not None else None
+        )
+        self.expert_floor = expert_floor
+        self.classifier_weight = classifier_weight
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.refit_every = refit_every
+        self.learn_prior = learn_prior
+        self.fitted_classifier: Optional[Classifier] = None
+
+    # ------------------------------------------------------------------
+    def infer(self, answers: AnswerMap, n_classes: int,
+              n_annotators: int) -> InferenceResult:
+        self._validate(answers, n_classes, n_annotators)
+        if self.expert_mask is not None and self.expert_mask.size != n_annotators:
+            raise ConfigurationError(
+                f"expert_mask has {self.expert_mask.size} entries, expected "
+                f"{n_annotators}"
+            )
+        object_ids = sorted(answers)
+        if not object_ids:
+            return InferenceResult(posteriors={}, labels={})
+        for oid in object_ids:
+            if not 0 <= oid < self.features.shape[0]:
+                raise ConfigurationError(
+                    f"object id {oid} has no feature row (features cover "
+                    f"{self.features.shape[0]} objects)"
+                )
+
+        x = self.features[object_ids]
+
+        # ---- Initialise q(y) with majority voting ----
+        posteriors: dict[int, np.ndarray] = {}
+        for oid in object_ids:
+            counts = np.zeros(n_classes)
+            for answer in answers[oid].values():
+                counts[answer] += 1
+            posteriors[oid] = counts / counts.sum()
+
+        confusions = [
+            np.full((n_classes, n_classes), 1.0 / n_classes)
+            for _ in range(n_annotators)
+        ]
+        prior = np.full(n_classes, 1.0 / n_classes)
+        clf_log = np.zeros((len(object_ids), n_classes))  # classifier term
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            # ---- M-step ----
+            # (a) Annotator confusion matrices from soft counts.
+            counts = [
+                np.full((n_classes, n_classes), self.smoothing)
+                for _ in range(n_annotators)
+            ]
+            prior_mass = np.full(n_classes, self.smoothing)
+            for oid in object_ids:
+                post = posteriors[oid]
+                prior_mass += post
+                for annotator_id, answer in answers[oid].items():
+                    counts[annotator_id][:, answer] += post
+            confusions = [c / c.sum(axis=1, keepdims=True) for c in counts]
+            if self.learn_prior:
+                prior = prior_mass / prior_mass.sum()
+
+            # (b) Expert-quality bounding (Section V-A2).
+            if self.expert_mask is not None:
+                for j in range(n_annotators):
+                    if self.expert_mask[j]:
+                        bounded = ConfusionMatrix(confusions[j]).with_quality_floor(
+                            self.expert_floor
+                        )
+                        confusions[j] = bounded.matrix
+
+            # (c) Retrain the classifier on the soft posteriors.
+            if self.classifier_weight > 0 and iteration % self.refit_every == 0:
+                soft = np.vstack([posteriors[oid] for oid in object_ids])
+                self.classifier.fit_soft(x, soft)
+                self.fitted_classifier = self.classifier
+                proba = np.clip(
+                    self.classifier.predict_proba(x),
+                    1.0 - self.classifier_clip,
+                    self.classifier_clip,
+                )
+                clf_log = self.classifier_weight * np.log(proba)
+
+            # ---- E-step ----
+            max_delta = 0.0
+            for row, oid in enumerate(object_ids):
+                log_post = np.log(prior + 1e-12) + clf_log[row]
+                for annotator_id, answer in answers[oid].items():
+                    log_post += np.log(confusions[annotator_id][:, answer] + 1e-12)
+                log_post -= log_post.max()
+                post = np.exp(log_post)
+                post /= post.sum()
+                max_delta = max(
+                    max_delta, float(np.abs(post - posteriors[oid]).max())
+                )
+                posteriors[oid] = post
+
+            if max_delta < self.tol:
+                converged = True
+                break
+
+        seen = {
+            j for oid in object_ids for j in answers[oid]
+        }
+        return InferenceResult(
+            posteriors=posteriors,
+            labels=self._posterior_to_labels(posteriors),
+            confusions={j: ConfusionMatrix(confusions[j]) for j in seen},
+            iterations=iteration,
+            converged=converged,
+        )

@@ -1,0 +1,92 @@
+"""ZenCrowd-style EM: one reliability scalar per annotator.
+
+Demartini et al.'s ZenCrowd models each annotator with a single reliability
+``p_j`` (probability of answering correctly; wrong answers uniform over the
+other classes) instead of a full confusion matrix.  It sits between
+majority voting and Dawid-Skene: more robust than DS at low redundancy
+(far fewer parameters), less expressive with class-dependent biases.
+Included because the truth-inference survey the paper builds on (ref [48])
+evaluates it alongside MV/DS/PM/GLAD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.inference.base import AnswerMap, InferenceResult, TruthInference
+
+
+class ZenCrowd(TruthInference):
+    """Single-reliability EM."""
+
+    def __init__(self, *, max_iter: int = 100, tol: float = 1e-6,
+                 initial_reliability: float = 0.7,
+                 smoothing: float = 1.0) -> None:
+        if max_iter <= 0:
+            raise ConfigurationError(f"max_iter must be > 0, got {max_iter}")
+        if not 0.0 < initial_reliability < 1.0:
+            raise ConfigurationError(
+                f"initial_reliability must be in (0, 1), got "
+                f"{initial_reliability}"
+            )
+        if smoothing < 0:
+            raise ConfigurationError(f"smoothing must be >= 0, got {smoothing}")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.initial_reliability = initial_reliability
+        self.smoothing = smoothing
+        #: Final per-annotator reliabilities (populated by :meth:`infer`).
+        self.reliabilities: dict[int, float] = {}
+
+    def infer(self, answers: AnswerMap, n_classes: int,
+              n_annotators: int) -> InferenceResult:
+        self._validate(answers, n_classes, n_annotators)
+        object_ids = sorted(answers)
+        if not object_ids:
+            return InferenceResult(posteriors={}, labels={})
+
+        reliability = np.full(n_annotators, self.initial_reliability)
+        posteriors: dict[int, np.ndarray] = {}
+        converged = False
+        iteration = 0
+
+        for iteration in range(1, self.max_iter + 1):
+            # E-step: posterior per object from per-annotator reliabilities.
+            for oid in object_ids:
+                log_post = np.zeros(n_classes)
+                for annotator_id, answer in answers[oid].items():
+                    p = np.clip(reliability[annotator_id], 1e-6, 1 - 1e-6)
+                    wrong = (1.0 - p) / (n_classes - 1)
+                    contrib = np.full(n_classes, np.log(wrong))
+                    contrib[answer] = np.log(p)
+                    log_post += contrib
+                log_post -= log_post.max()
+                post = np.exp(log_post)
+                posteriors[oid] = post / post.sum()
+
+            # M-step: reliability = expected fraction of correct answers.
+            correct_mass = np.full(n_annotators, self.smoothing)
+            total_mass = np.full(n_annotators, 2.0 * self.smoothing)
+            for oid in object_ids:
+                post = posteriors[oid]
+                for annotator_id, answer in answers[oid].items():
+                    correct_mass[annotator_id] += post[answer]
+                    total_mass[annotator_id] += 1.0
+            new_reliability = correct_mass / total_mass
+            delta = float(np.abs(new_reliability - reliability).max())
+            reliability = new_reliability
+            if delta < self.tol:
+                converged = True
+                break
+
+        self.reliabilities = {
+            j: float(reliability[j]) for j in range(n_annotators)
+            if any(j in answers[oid] for oid in object_ids)
+        }
+        return InferenceResult(
+            posteriors=posteriors,
+            labels=self._posterior_to_labels(posteriors),
+            iterations=iteration,
+            converged=converged,
+        )

@@ -1,0 +1,21 @@
+"""Evaluation metrics: the paper's Precision / Recall / F1, plus accuracy."""
+
+from repro.metrics.classification import (
+    ClassificationReport,
+    accuracy,
+    confusion_counts,
+    evaluate_labels,
+    f1_score,
+    precision,
+    recall,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_counts",
+    "evaluate_labels",
+]

@@ -1,0 +1,120 @@
+"""Precision, recall, F1 and accuracy (Section VI-A3's metrics).
+
+The paper's tasks are binary, so precision/recall default to treating class
+1 as positive; multi-class inputs use macro averaging.  A convenience
+:func:`evaluate_labels` produces the full report the harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ConfigurationError(
+            f"label arrays must be equal-length 1-D, got {y_true.shape} and "
+            f"{y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ConfigurationError("cannot compute metrics on empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: int) -> np.ndarray:
+    """``(true, predicted)`` count table."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    if n_classes < 2:
+        raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+    counts = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(counts, (y_true, y_pred), 1)
+    return counts
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions matching the true labels."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def _per_class_prf(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    tp = np.diag(counts).astype(float)
+    pred_pos = counts.sum(axis=0).astype(float)
+    true_pos = counts.sum(axis=1).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        prec = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+        rec = np.where(true_pos > 0, tp / true_pos, 0.0)
+        denom = prec + rec
+        f1 = np.where(denom > 0, 2 * prec * rec / denom, 0.0)
+    return prec, rec, f1
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray, *,
+              n_classes: int = 2, positive_class: int = 1,
+              average: str = "binary") -> float:
+    """Precision of ``positive_class`` (binary) or the macro average."""
+    counts = confusion_counts(y_true, y_pred, n_classes)
+    prec, _rec, _f1 = _per_class_prf(counts)
+    if average == "binary":
+        return float(prec[positive_class])
+    if average == "macro":
+        return float(prec.mean())
+    raise ConfigurationError(f"average must be 'binary' or 'macro', got {average!r}")
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray, *,
+           n_classes: int = 2, positive_class: int = 1,
+           average: str = "binary") -> float:
+    """Recall of ``positive_class`` (binary) or the macro average."""
+    counts = confusion_counts(y_true, y_pred, n_classes)
+    _prec, rec, _f1 = _per_class_prf(counts)
+    if average == "binary":
+        return float(rec[positive_class])
+    if average == "macro":
+        return float(rec.mean())
+    raise ConfigurationError(f"average must be 'binary' or 'macro', got {average!r}")
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, *,
+             n_classes: int = 2, positive_class: int = 1,
+             average: str = "binary") -> float:
+    """Harmonic mean of precision and recall (binary or macro)."""
+    counts = confusion_counts(y_true, y_pred, n_classes)
+    _prec, _rec, f1 = _per_class_prf(counts)
+    if average == "binary":
+        return float(f1[positive_class])
+    if average == "macro":
+        return float(f1.mean())
+    raise ConfigurationError(f"average must be 'binary' or 'macro', got {average!r}")
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """The metric triple the paper reports, plus accuracy and coverage."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    n_evaluated: int
+
+
+def evaluate_labels(y_true: np.ndarray, y_pred: np.ndarray, *,
+                    n_classes: int = 2) -> ClassificationReport:
+    """Full report; binary tasks use class 1 as positive, else macro averages."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    average = "binary" if n_classes == 2 else "macro"
+    return ClassificationReport(
+        precision=precision(y_true, y_pred, n_classes=n_classes, average=average),
+        recall=recall(y_true, y_pred, n_classes=n_classes, average=average),
+        f1=f1_score(y_true, y_pred, n_classes=n_classes, average=average),
+        accuracy=accuracy(y_true, y_pred),
+        n_evaluated=int(y_true.size),
+    )

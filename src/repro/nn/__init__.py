@@ -1,0 +1,46 @@
+"""Minimal dense neural-network substrate on numpy.
+
+The paper implements its classifier ``phi`` and the Deep Q-Network with
+PyTorch; this environment has no deep-learning framework available, so the
+library ships its own small, fully tested substrate: dense layers with
+manual backpropagation, standard activations, losses, and first-order
+optimizers.  Only what the paper needs — feed-forward nets — is implemented,
+but it is implemented completely (training loop, early stopping, weight
+serialization).
+"""
+
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+from repro.nn.layers import Dense, Dropout, Layer, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.losses import (
+    HuberLoss,
+    Loss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.network import Network
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp
+from repro.nn.train import TrainResult, train_network
+
+__all__ = [
+    "he_init",
+    "xavier_init",
+    "zeros_init",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "HuberLoss",
+    "Network",
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "TrainResult",
+    "train_network",
+]

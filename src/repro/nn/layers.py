@@ -1,0 +1,199 @@
+"""Feed-forward layers with manual backpropagation.
+
+Every layer exposes ``forward(x, training)`` and ``backward(grad_out)``;
+``backward`` must be called with the gradient of the loss w.r.t. the layer's
+output and returns the gradient w.r.t. its input, accumulating parameter
+gradients in ``grads`` along the way.  Shapes are always ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import he_init, zeros_init
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Layer:
+    """Base class: a differentiable transformation with optional parameters."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameters by name (empty for parameter-free layers)."""
+        return {}
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :attr:`params`, populated by ``backward``."""
+        return {}
+
+    def zero_grads(self) -> None:
+        for g in self.grads.values():
+            g.fill(0.0)
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        weight_init: Callable[[int, int, SeedLike], np.ndarray] = he_init,
+        rng: SeedLike = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"Dense needs positive sizes, got ({in_features}, {out_features})"
+            )
+        rng = as_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = np.asarray(weight_init(in_features, out_features, rng), float)
+        self.bias = np.zeros(out_features)
+        self._grad_w = np.zeros_like(self.weight)
+        self._grad_b = np.zeros_like(self.bias)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"Dense expected input (batch, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        self._grad_w += self._x.T @ grad_out
+        self._grad_b += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self._grad_w, "bias": self._grad_b}
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=float))
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        return grad_out * (1.0 - self._out ** 2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation (the paper's classifier output layer)."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Softmax(Layer):
+    """Row-wise softmax.
+
+    For classification prefer :class:`repro.nn.losses.SoftmaxCrossEntropy`,
+    which fuses softmax with the loss for numerical stability; this layer
+    exists for inference-time probability outputs and for Q-value weighting.
+    """
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        shifted = x - x.max(axis=1, keepdims=True)
+        ex = np.exp(shifted)
+        out = ex / ex.sum(axis=1, keepdims=True)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        s = self._out
+        dot = (grad_out * s).sum(axis=1, keepdims=True)
+        return s * (grad_out - dot)
+
+
+class Dropout(Layer):
+    """Inverted dropout; a no-op outside training mode."""
+
+    def __init__(self, rate: float, rng: SeedLike = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

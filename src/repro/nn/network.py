@@ -1,0 +1,142 @@
+"""A sequential feed-forward network with manual backpropagation."""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Dense, Layer, ReLU, Tanh
+from repro.nn.losses import Loss
+from repro.nn.optimizers import Optimizer
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Network:
+    """An ordered stack of layers trained by backpropagation.
+
+    The class is deliberately small: ``forward`` / ``backward`` plumbing, a
+    single-batch ``train_batch`` step, weight get/set for target-network
+    synchronisation (DQN), and deep copying.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ConfigurationError("Network needs at least one layer")
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def mlp(
+        cls,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        *,
+        activation: str = "relu",
+        rng: SeedLike = None,
+    ) -> "Network":
+        """Build a plain MLP: Dense/activation pairs then a linear head."""
+        activations = {"relu": ReLU, "tanh": Tanh}
+        if activation not in activations:
+            raise ConfigurationError(
+                f"unknown activation {activation!r}; choose from {sorted(activations)}"
+            )
+        rng = as_rng(rng)
+        sizes = [in_features, *hidden]
+        layers: list[Layer] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            layers.append(Dense(fan_in, fan_out, rng=rng))
+            layers.append(activations[activation]())
+        layers.append(Dense(sizes[-1], out_features, rng=rng))
+        return cls(layers)
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_out, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params, grads = layer.params, layer.grads
+            pairs.extend((params[name], grads[name]) for name in params)
+        return pairs
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        loss: Loss,
+        optimizer: Optimizer,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        self.zero_grads()
+        pred = self.forward(x, training=True)
+        value = loss.value(pred, target, sample_weights)
+        self.backward(loss.grad(pred, target, sample_weights))
+        optimizer.step(self.params_and_grads())
+        return value
+
+    # ------------------------------------------------------------------
+    # Weight management (target-network sync, checkpointing)
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copies of every layer's parameters, in layer order."""
+        return [
+            {name: param.copy() for name, param in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        if len(weights) != len(self.layers):
+            raise ConfigurationError(
+                f"expected weights for {len(self.layers)} layers, got {len(weights)}"
+            )
+        for layer, layer_weights in zip(self.layers, weights):
+            params = layer.params
+            if set(params) != set(layer_weights):
+                raise ConfigurationError(
+                    f"weight keys {sorted(layer_weights)} do not match layer "
+                    f"params {sorted(params)}"
+                )
+            for name, value in layer_weights.items():
+                if params[name].shape != value.shape:
+                    raise ConfigurationError(
+                        f"shape mismatch for {name}: {params[name].shape} "
+                        f"vs {value.shape}"
+                    )
+                params[name][...] = value
+
+    def clone(self) -> "Network":
+        """Deep copy (fresh parameter arrays), e.g. for a DQN target network."""
+        return copy.deepcopy(self)
+
+    def n_parameters(self) -> int:
+        return sum(p.size for layer in self.layers for p in layer.params.values())

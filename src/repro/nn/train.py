@@ -1,0 +1,104 @@
+"""Mini-batch training loop with early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.losses import Loss
+from repro.nn.network import Network
+from repro.nn.optimizers import Optimizer
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :func:`train_network`."""
+
+    epochs_run: int
+    final_loss: float
+    loss_history: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+def train_network(
+    network: Network,
+    x: np.ndarray,
+    target: np.ndarray,
+    loss: Loss,
+    optimizer: Optimizer,
+    *,
+    epochs: int = 50,
+    batch_size: int = 32,
+    sample_weights: Optional[np.ndarray] = None,
+    patience: Optional[int] = None,
+    min_delta: float = 1e-5,
+    shuffle: bool = True,
+    rng: SeedLike = None,
+) -> TrainResult:
+    """Train ``network`` on ``(x, target)`` by shuffled mini-batch SGD.
+
+    ``patience`` enables early stopping: training halts once the epoch loss
+    has not improved by at least ``min_delta`` for ``patience`` consecutive
+    epochs.  Per-sample ``sample_weights`` flow through to the loss, which
+    is how the joint inference model trains on soft posterior labels.
+    """
+    x = np.asarray(x, dtype=float)
+    target = np.asarray(target)
+    if x.ndim != 2:
+        raise ConfigurationError(f"x must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if target.shape[0] != n:
+        raise ConfigurationError(
+            f"x has {n} rows but target has {target.shape[0]}"
+        )
+    if epochs <= 0:
+        raise ConfigurationError(f"epochs must be > 0, got {epochs}")
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
+    if sample_weights is not None:
+        sample_weights = np.asarray(sample_weights, dtype=float)
+        if sample_weights.shape != (n,):
+            raise ConfigurationError(
+                f"sample_weights must have shape ({n},), got {sample_weights.shape}"
+            )
+
+    rng = as_rng(rng)
+    history: list[float] = []
+    best = np.inf
+    stale = 0
+    stopped_early = False
+
+    for epoch in range(epochs):
+        order = rng.permutation(n) if shuffle else np.arange(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            batch_w = sample_weights[idx] if sample_weights is not None else None
+            epoch_loss += network.train_batch(
+                x[idx], target[idx], loss, optimizer, batch_w
+            )
+            n_batches += 1
+        epoch_loss /= max(n_batches, 1)
+        history.append(epoch_loss)
+
+        if patience is not None:
+            if epoch_loss < best - min_delta:
+                best = epoch_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= patience:
+                    stopped_early = True
+                    break
+
+    return TrainResult(
+        epochs_run=len(history),
+        final_loss=history[-1] if history else float("nan"),
+        loss_history=history,
+        stopped_early=stopped_early,
+    )

@@ -1,0 +1,164 @@
+"""DQN learning loop over featurized transitions.
+
+Implements the loss of Section IV-A:
+
+    L(theta) = E[(r + gamma * max_a' Q_target(S', a') - Q(S, A; theta))^2]
+
+with experience replay and a periodically synchronised target network.
+The agent is action-space-agnostic: callers hand it featurized action
+candidates; the CrowdRL-specific featurization lives in
+:mod:`repro.core.state`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rl.qnetwork import QNetwork
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, Transition
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    """Hyper-parameters for :class:`DQNAgent`.
+
+    ``double_dqn`` enables the Double-DQN target (van Hasselt et al., the
+    paper's ref [38], which Section IV-B notes "can also be integrated into
+    our framework"): the *online* network selects the best successor action
+    and the *target* network evaluates it, decoupling selection from
+    evaluation to curb overestimation.  ``prioritized`` swaps the uniform
+    replay buffer for proportional prioritized replay (ref [30]).
+    """
+
+    n_features: int
+    hidden: tuple[int, ...] = (64, 32)
+    learning_rate: float = 1e-3
+    gamma: float = 0.95
+    buffer_capacity: int = 10_000
+    batch_size: int = 32
+    target_sync_every: int = 20
+    min_buffer_for_training: int = 32
+    prioritized: bool = False
+    double_dqn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_features <= 0:
+            raise ConfigurationError(f"n_features must be > 0, got {self.n_features}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.batch_size <= 0 or self.buffer_capacity <= 0:
+            raise ConfigurationError("batch_size and buffer_capacity must be > 0")
+        if self.target_sync_every <= 0:
+            raise ConfigurationError(
+                f"target_sync_every must be > 0, got {self.target_sync_every}"
+            )
+
+
+class DQNAgent:
+    """Q-learning with replay and target network over featurized actions."""
+
+    def __init__(self, config: DQNConfig, rng: SeedLike = None) -> None:
+        rng = as_rng(rng)
+        self.config = config
+        self.qnet = QNetwork(
+            config.n_features,
+            hidden=config.hidden,
+            learning_rate=config.learning_rate,
+            rng=rng,
+        )
+        buffer_cls = PrioritizedReplayBuffer if config.prioritized else ReplayBuffer
+        self.buffer = buffer_cls(config.buffer_capacity, rng=rng)
+        self._train_steps = 0
+
+    # ------------------------------------------------------------------
+    def q_values(self, action_features: np.ndarray) -> np.ndarray:
+        """Q for each row of featurized candidate actions."""
+        return self.qnet.predict(action_features)
+
+    def remember(
+        self,
+        features: np.ndarray,
+        reward: float,
+        next_features: Optional[np.ndarray],
+        terminal: bool,
+    ) -> None:
+        """Append one transition to the replay buffer.
+
+        ``features`` is the featurization of the action taken; ``next_features``
+        holds *all* candidate action featurizations in the successor state
+        (rows), from which the bootstrap max is computed.
+        """
+        features = np.asarray(features, dtype=float).ravel()
+        if features.size != self.config.n_features:
+            raise ConfigurationError(
+                f"features must have {self.config.n_features} entries, got "
+                f"{features.size}"
+            )
+        nxt = None
+        if next_features is not None and not terminal:
+            nxt = np.atleast_2d(np.asarray(next_features, dtype=float))
+            if nxt.shape[1] != self.config.n_features:
+                raise ConfigurationError(
+                    f"next_features must have {self.config.n_features} columns, "
+                    f"got {nxt.shape[1]}"
+                )
+        self.buffer.push(Transition(features, float(reward), nxt, terminal))
+
+    def train_step(self) -> Optional[float]:
+        """One replayed minibatch update; returns the loss, or ``None`` if
+        the buffer is still below ``min_buffer_for_training``."""
+        if len(self.buffer) < max(self.config.min_buffer_for_training, 1):
+            return None
+        batch = self.buffer.sample(self.config.batch_size)
+        features = np.vstack([t.features for t in batch])
+        targets = np.empty(len(batch))
+        for i, transition in enumerate(batch):
+            target = transition.reward
+            if not transition.terminal and transition.next_features is not None:
+                target_q = self.qnet.predict_target(transition.next_features)
+                if target_q.size:
+                    if self.config.double_dqn:
+                        # Double DQN: online net picks, target net scores.
+                        online_q = self.qnet.predict(transition.next_features)
+                        best = int(np.argmax(online_q))
+                        bootstrap = float(target_q[best])
+                    else:
+                        bootstrap = float(target_q.max())
+                    target += self.config.gamma * bootstrap
+            targets[i] = target
+
+        if isinstance(self.buffer, PrioritizedReplayBuffer):
+            current = self.qnet.predict(features)
+            self.buffer.update_priorities(targets - current)
+
+        loss = self.qnet.train_on_targets(features, targets)
+        self._train_steps += 1
+        if self._train_steps % self.config.target_sync_every == 0:
+            self.qnet.sync_target()
+        return loss
+
+    def train(self, n_steps: int) -> list[float]:
+        """Run up to ``n_steps`` training steps; returns achieved losses."""
+        losses = []
+        for _ in range(n_steps):
+            loss = self.train_step()
+            if loss is not None:
+                losses.append(loss)
+        return losses
+
+    # ------------------------------------------------------------------
+    def get_weights(self):
+        """Export policy weights (for offline cross-training, Section VI-A4)."""
+        return self.qnet.get_weights()
+
+    def set_weights(self, weights) -> None:
+        self.qnet.set_weights(weights)
+
+    @property
+    def train_steps(self) -> int:
+        return self._train_steps

@@ -1,0 +1,34 @@
+"""Scalar schedules (exploration rate, learning rate annealing)."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+class ConstantSchedule:
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``duration`` steps."""
+
+    def __init__(self, start: float, end: float, duration: int) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.start = start
+        self.end = end
+        self.duration = duration
+
+    def __call__(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        if step >= self.duration:
+            return self.end
+        frac = step / self.duration
+        return self.start + frac * (self.end - self.start)

@@ -1,0 +1,91 @@
+"""Action-selection policies, including the paper's UCB1 variant (Eq. 6).
+
+Eq. 6 selects ``A(t) = argmax[ Q(S, A') + sqrt(2 ln(n') / n) ]`` where ``n``
+counts how often ``A'`` was chosen and ``n'`` counts total selections.
+Masked actions (e.g. already-labelled objects) carry ``Q = -inf`` and are
+never selected regardless of the exploration bonus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+class ActionStatistics:
+    """Selection counts backing the UCB bonus.
+
+    The paper indexes counts per (state, action); with a continuous
+    featurized state we follow the standard practical reduction of keeping
+    per-action counts (actions are (object, annotator) pairs, whose novelty
+    is what exploration must cover).
+    """
+
+    def __init__(self, n_actions: int) -> None:
+        if n_actions <= 0:
+            raise ConfigurationError(f"n_actions must be > 0, got {n_actions}")
+        self.counts = np.zeros(n_actions, dtype=int)
+        self.total = 0
+
+    def record(self, action: int) -> None:
+        if not 0 <= action < self.counts.size:
+            raise ConfigurationError(
+                f"action {action} out of range [0, {self.counts.size})"
+            )
+        self.counts[action] += 1
+        self.total += 1
+
+    def bonus(self) -> np.ndarray:
+        """The UCB1 exploration bonus ``sqrt(2 ln n' / n)`` per action.
+
+        Never-selected actions get an infinite bonus (standard UCB1 "play
+        each arm once" behaviour); with no history the bonus is zero.
+        """
+        if self.total == 0:
+            return np.zeros(self.counts.size)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bonus = np.sqrt(2.0 * np.log(self.total) / self.counts)
+        bonus[self.counts == 0] = np.inf
+        return bonus
+
+
+def greedy_action(q_values: np.ndarray) -> int:
+    """Plain argmax; raises if every action is masked."""
+    q = np.asarray(q_values, dtype=float)
+    best = int(np.argmax(q))
+    if not np.isfinite(q[best]):
+        raise ConfigurationError("all actions are masked (-inf)")
+    return best
+
+
+def epsilon_greedy_action(q_values: np.ndarray, epsilon: float,
+                          rng: SeedLike = None) -> int:
+    """Explore uniformly over unmasked actions with probability ``epsilon``."""
+    if not 0.0 <= epsilon <= 1.0:
+        raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+    q = np.asarray(q_values, dtype=float)
+    valid = np.flatnonzero(np.isfinite(q))
+    if valid.size == 0:
+        raise ConfigurationError("all actions are masked (-inf)")
+    rng = as_rng(rng)
+    if rng.random() < epsilon:
+        return int(rng.choice(valid))
+    return greedy_action(q)
+
+
+def ucb_action(q_values: np.ndarray, stats: ActionStatistics) -> int:
+    """The paper's Eq. 6: argmax of Q plus the UCB1 bonus, masks respected."""
+    q = np.asarray(q_values, dtype=float)
+    if q.size != stats.counts.size:
+        raise ConfigurationError(
+            f"{q.size} q-values but statistics track {stats.counts.size} actions"
+        )
+    masked = ~np.isfinite(q)
+    if masked.all():
+        raise ConfigurationError("all actions are masked (-inf)")
+    # -inf + inf would be nan; masked actions must stay masked.
+    score = np.where(masked, -np.inf, np.where(masked, 0.0, q) + stats.bonus())
+    # An unmasked never-tried action has +inf score and wins, as in UCB1.
+    return int(np.argmax(score))

@@ -1,0 +1,39 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an ``int`` or a ready-made :class:`numpy.random.Generator`.
+Centralising the coercion here keeps experiments reproducible end to end:
+the harness seeds one generator and derives independent child streams for
+the dataset, the annotators, the agent and the classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so that callers can
+    share one stream; anything else is handed to ``np.random.default_rng``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``.
+
+    Children are derived through ``Generator.spawn`` (SeedSequence-based), so
+    changing the number of draws one component makes never perturbs another
+    component's stream.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    return list(as_rng(seed).spawn(n))

@@ -1,0 +1,126 @@
+"""Top-k selection utilities, including the paper's min-heap object selection.
+
+Section IV ("Discussion") of the paper assigns ``k`` annotators per object by
+computing, for each candidate object, the sum of the top-``k`` Q-values over
+annotators and then selecting the objects with the largest sums via a
+min-heap.  :func:`select_objects_by_topk_q` implements exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def top_k_indices(values: Sequence[float], k: int) -> list[int]:
+    """Return indices of the ``k`` largest entries, largest first.
+
+    Ties are broken by lower index so the result is deterministic.  ``k``
+    larger than ``len(values)`` returns every index.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    arr = np.asarray(values, dtype=float)
+    k = min(k, arr.size)
+    if k == 0:
+        return []
+    # heapq.nlargest on (value, -index) gives deterministic tie-breaking.
+    best = heapq.nlargest(k, ((v, -i) for i, v in enumerate(arr)))
+    return [-neg_i for _v, neg_i in best]
+
+
+def top_k_sum(values: Sequence[float], k: int) -> float:
+    """Sum of the ``k`` largest entries of ``values``."""
+    idx = top_k_indices(values, k)
+    arr = np.asarray(values, dtype=float)
+    return float(arr[idx].sum()) if idx else 0.0
+
+
+def select_objects_by_topk_q(
+    q_matrix: np.ndarray,
+    k_annotators: int,
+    n_objects: int,
+    *,
+    group_mask: Optional[np.ndarray] = None,
+    max_group: Optional[int] = None,
+) -> list[tuple[int, list[int]]]:
+    """Select objects and their annotator assignments from a Q-value matrix.
+
+    Parameters
+    ----------
+    q_matrix:
+        ``(|O|, |W|)`` array of Q-values.  Masked entries (e.g. objects that
+        are already labelled) should be ``-inf``; a row whose top-``k`` sum is
+        ``-inf`` is never selected.
+    k_annotators:
+        Number of annotators to assign per object (the paper's ``k``).
+    n_objects:
+        Number of objects to select this iteration (batch size).
+    group_mask / max_group:
+        Optional per-annotator boolean mask and a cap: at most ``max_group``
+        annotators with a True mask may be assigned to any single object
+        (e.g. "at most one expert per object").  Remaining slots fall to the
+        best annotators outside the group.
+
+    Returns
+    -------
+    list of ``(object_index, [annotator indices])`` pairs, ordered by
+    decreasing top-``k`` Q-value sum.  The min-heap keeps only the current
+    best ``n_objects`` candidates, as described in the paper.
+    """
+    q = np.asarray(q_matrix, dtype=float)
+    if q.ndim != 2:
+        raise ValueError(f"q_matrix must be 2-D, got shape {q.shape}")
+    if k_annotators <= 0:
+        raise ValueError(f"k_annotators must be > 0, got {k_annotators}")
+    if n_objects <= 0:
+        return []
+    if group_mask is not None:
+        group_mask = np.asarray(group_mask, dtype=bool)
+        if group_mask.shape != (q.shape[1],):
+            raise ValueError(
+                f"group_mask must have shape ({q.shape[1]},), got "
+                f"{group_mask.shape}"
+            )
+        if max_group is None or max_group < 0:
+            raise ValueError("max_group must be a non-negative int with group_mask")
+
+    def row_top_k(row: np.ndarray) -> list[int]:
+        ranked = [j for j in top_k_indices(row, row.size)
+                  if np.isfinite(row[j])]
+        if group_mask is None:
+            return ranked[:k_annotators]
+        chosen: list[int] = []
+        in_group = 0
+        for j in ranked:
+            if group_mask[j]:
+                if in_group >= max_group:
+                    continue
+                in_group += 1
+            chosen.append(j)
+            if len(chosen) == k_annotators:
+                break
+        return chosen
+
+    # Min-heap of (score, -object_index) holding the best candidates so far.
+    heap: list[tuple[float, int]] = []
+    assignments: dict[int, list[int]] = {}
+    for i in range(q.shape[0]):
+        # Only unmasked pairs may be assigned; a partially masked row is
+        # still selectable through its remaining valid annotators.
+        annotators = row_top_k(q[i])
+        if not annotators:
+            continue  # fully masked row: object already labelled
+        score = float(q[i, annotators].sum())
+        if len(heap) < n_objects:
+            heapq.heappush(heap, (score, -i))
+            assignments[i] = annotators
+        elif score > heap[0][0]:
+            _, neg_evicted = heapq.heapreplace(heap, (score, -i))
+            del assignments[-neg_evicted]
+            assignments[i] = annotators
+
+    ranked = sorted(heap, key=lambda item: (-item[0], -item[1]))
+    return [(-neg_i, assignments[-neg_i]) for _score, neg_i in ranked]

@@ -1,0 +1,118 @@
+"""Tests for repro.active (uncertainty, bootstrap MinExpError, selectors)."""
+
+import numpy as np
+import pytest
+
+from repro.active.bootstrap import min_exp_error_scores
+from repro.active.selectors import RandomSelector, UncertaintySelector
+from repro.active.uncertainty import entropy, least_confidence, margin
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ConfigurationError
+
+
+UNIFORM = np.array([[0.5, 0.5]])
+CONFIDENT = np.array([[0.99, 0.01]])
+
+
+class TestUncertainty:
+    def test_entropy_ordering(self):
+        assert entropy(UNIFORM)[0] > entropy(CONFIDENT)[0]
+
+    def test_entropy_max_at_uniform(self):
+        assert entropy(UNIFORM)[0] == pytest.approx(np.log(2))
+
+    def test_margin_ordering(self):
+        assert margin(UNIFORM)[0] > margin(CONFIDENT)[0]
+
+    def test_least_confidence_values(self):
+        assert least_confidence(CONFIDENT)[0] == pytest.approx(0.01)
+        assert least_confidence(UNIFORM)[0] == pytest.approx(0.5)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            entropy(np.array([0.5, 0.5]))
+
+
+class TestMinExpError:
+    def test_uncertain_boundary_scores_higher(self):
+        ds = make_blobs(200, 4, separation=4.0, rng=0)
+        # Candidates: one at a class mean (easy), one at the origin (hard).
+        class0_mean = ds.features[ds.labels == 0].mean(axis=0)
+        candidates = np.vstack([class0_mean, np.zeros(4)])
+        scores = min_exp_error_scores(
+            lambda: LogisticRegressionClassifier(4, 2),
+            ds.features, ds.labels, candidates,
+            n_bootstrap=5, rng=1,
+        )
+        assert scores[1] > scores[0]
+
+    def test_no_labelled_data_gives_uniform_max(self):
+        scores = min_exp_error_scores(
+            lambda: LogisticRegressionClassifier(3, 2),
+            np.empty((0, 3)), np.empty(0, dtype=int), np.ones((4, 3)),
+            rng=0,
+        )
+        np.testing.assert_array_equal(scores, 1.0)
+
+    def test_handles_single_class_resamples(self):
+        # Tiny labelled set makes single-class bootstrap draws likely;
+        # the top-up logic must keep the classifier fittable.
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 1])
+        scores = min_exp_error_scores(
+            lambda: LogisticRegressionClassifier(1, 2),
+            x, y, np.array([[0.5], [1.5]]), n_bootstrap=8, rng=2,
+        )
+        assert scores.shape == (2,)
+        assert np.isfinite(scores).all()
+
+    def test_invalid_bootstrap_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            min_exp_error_scores(
+                lambda: LogisticRegressionClassifier(1, 2),
+                np.ones((2, 1)), np.array([0, 1]), np.ones((1, 1)),
+                n_bootstrap=0,
+            )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            min_exp_error_scores(
+                lambda: LogisticRegressionClassifier(1, 2),
+                np.ones((3, 1)), np.array([0, 1]), np.ones((1, 1)),
+            )
+
+
+class TestSelectors:
+    def test_random_selector_size_and_membership(self):
+        selector = RandomSelector(rng=0)
+        chosen = selector.select([10, 20, 30, 40], 2)
+        assert len(chosen) == 2
+        assert set(chosen) <= {10, 20, 30, 40}
+
+    def test_random_selector_no_duplicates(self):
+        chosen = RandomSelector(rng=0).select(list(range(10)), 10)
+        assert len(set(chosen)) == 10
+
+    def test_random_selector_caps_at_pool(self):
+        assert len(RandomSelector(rng=0).select([1, 2], 5)) == 2
+
+    def test_random_selector_empty(self):
+        assert RandomSelector(rng=0).select([], 3) == []
+
+    def test_uncertainty_selector_picks_most_uncertain(self):
+        proba = np.array([[0.95, 0.05], [0.55, 0.45], [0.7, 0.3]])
+        chosen = UncertaintySelector().select([100, 200, 300], 2, proba)
+        assert chosen == [200, 300]
+
+    def test_uncertainty_selector_requires_proba(self):
+        with pytest.raises(ConfigurationError):
+            UncertaintySelector().select([1, 2], 1)
+
+    def test_uncertainty_selector_length_check(self):
+        with pytest.raises(ConfigurationError):
+            UncertaintySelector().select([1, 2], 1, np.ones((3, 2)) / 2)
+
+    def test_invalid_batch_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            RandomSelector(rng=0).select([1], 0)

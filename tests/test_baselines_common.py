@@ -1,0 +1,78 @@
+"""Tests for repro.baselines.common helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    initial_random_sample,
+    rank_annotators_by_quality,
+    rank_annotators_by_value,
+    train_final_classifier,
+)
+from repro.crowd.cost import BudgetManager
+from repro.crowd.platform import CrowdPlatform
+from repro.datasets.synthetic import make_blobs
+
+from conftest import build_pool
+
+
+@pytest.fixture
+def platform():
+    labels = np.random.default_rng(0).integers(0, 2, size=20)
+    return CrowdPlatform(labels, build_pool(), BudgetManager(100.0))
+
+
+class TestRankings:
+    def test_value_ranking_prefers_cheap_quality(self, platform):
+        order = rank_annotators_by_value(platform)
+        # Workers (quality ~0.6 / cost 1) beat the expert (0.9 / cost 10).
+        assert order[-1] == 3
+
+    def test_quality_ranking_prefers_expert(self, platform):
+        order = rank_annotators_by_quality(platform)
+        assert order[0] == 3
+
+    def test_rankings_are_permutations(self, platform):
+        assert sorted(rank_annotators_by_value(platform)) == [0, 1, 2, 3]
+        assert sorted(rank_annotators_by_quality(platform)) == [0, 1, 2, 3]
+
+
+class TestInitialRandomSample:
+    def test_samples_alpha_fraction(self, platform):
+        initial_random_sample(platform, alpha=0.2, k_per_object=2, rng=0)
+        answered = platform.history.answered_objects()
+        assert len(answered) == 4  # 0.2 * 20
+
+    def test_each_sampled_object_gets_k_answers(self, platform):
+        initial_random_sample(platform, alpha=0.1, k_per_object=3, rng=0)
+        for object_id in platform.history.answered_objects():
+            assert platform.history.n_answers(int(object_id)) == 3
+
+    def test_respects_annotator_order(self, platform):
+        initial_random_sample(platform, alpha=0.1, k_per_object=1, rng=0,
+                              annotator_order=[3, 0, 1, 2])
+        for object_id in platform.history.answered_objects():
+            assert platform.history.has_answered(int(object_id), 3)
+
+    def test_at_least_one_object(self, platform):
+        initial_random_sample(platform, alpha=0.001, k_per_object=1, rng=0)
+        assert len(platform.history.answered_objects()) == 1
+
+
+class TestTrainFinalClassifier:
+    def test_returns_none_below_min_labels(self):
+        ds = make_blobs(30, 4, rng=0)
+        assert train_final_classifier(ds.features, {0: 1}, 2) is None
+
+    def test_returns_none_for_single_class(self):
+        ds = make_blobs(30, 4, rng=0)
+        labels = {i: 0 for i in range(15)}
+        assert train_final_classifier(ds.features, labels, 2) is None
+
+    def test_fits_usable_classifier(self):
+        ds = make_blobs(60, 4, separation=5.0, rng=1)
+        labels = {i: int(ds.labels[i]) for i in range(40)}
+        clf = train_final_classifier(ds.features, labels, 2, rng=0)
+        assert clf is not None
+        acc = (clf.predict(ds.features) == ds.labels).mean()
+        assert acc > 0.8

@@ -1,0 +1,84 @@
+"""Tests for the Gaussian naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.naive_bayes import NaiveBayesClassifier
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs(200, 6, separation=3.5, rng=0)
+
+
+class TestNaiveBayes:
+    def test_learns_separable_data(self, blobs):
+        clf = NaiveBayesClassifier(6, 2).fit(blobs.features, blobs.labels)
+        assert (clf.predict(blobs.features) == blobs.labels).mean() > 0.85
+
+    def test_proba_simplex(self, blobs):
+        clf = NaiveBayesClassifier(6, 2).fit(blobs.features, blobs.labels)
+        proba = clf.predict_proba(blobs.features[:20])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert (proba >= 0).all()
+
+    def test_recovers_class_means(self):
+        ds = make_blobs(2000, 3, separation=4.0, rng=1)
+        clf = NaiveBayesClassifier(3, 2).fit(ds.features, ds.labels)
+        true_means = np.stack([
+            ds.features[ds.labels == c].mean(axis=0) for c in range(2)
+        ])
+        np.testing.assert_allclose(clf._means, true_means, atol=0.01)
+
+    def test_prior_learned_from_balance(self):
+        ds = make_blobs(2000, 3, class_balance=np.array([0.8, 0.2]), rng=2)
+        clf = NaiveBayesClassifier(3, 2).fit(ds.features, ds.labels)
+        prior = np.exp(clf._log_prior)
+        assert prior[0] == pytest.approx(0.8, abs=0.03)
+
+    def test_fit_soft(self, blobs):
+        soft = np.zeros((blobs.n_objects, 2))
+        soft[np.arange(blobs.n_objects), blobs.labels] = 0.85
+        soft[np.arange(blobs.n_objects), 1 - blobs.labels] = 0.15
+        clf = NaiveBayesClassifier(6, 2).fit_soft(blobs.features, soft)
+        assert (clf.predict(blobs.features) == blobs.labels).mean() > 0.85
+
+    def test_sample_weights(self):
+        x = np.array([[0.0], [0.0], [10.0]])
+        y = np.array([0, 0, 1])
+        # Heavy weight on the lone class-1 example keeps its prior alive.
+        clf = NaiveBayesClassifier(1, 2).fit(
+            x, y, sample_weights=np.array([1.0, 1.0, 10.0])
+        )
+        assert clf.predict(np.array([[10.0]]))[0] == 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NaiveBayesClassifier(2, 2).predict_proba(np.zeros((1, 2)))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            NaiveBayesClassifier(0, 2)
+        with pytest.raises(ConfigurationError):
+            NaiveBayesClassifier(2, 2, var_smoothing=0)
+
+    def test_works_as_joint_inference_phi(self, blobs):
+        from repro import BudgetManager
+        from repro.crowd.platform import CrowdPlatform
+        from repro.inference.joint import JointInference
+        from conftest import build_pool
+
+        pool = build_pool()
+        platform = CrowdPlatform(blobs.labels, pool, BudgetManager(10.0 ** 9))
+        platform.ask_batch((i, [0, 1, 2]) for i in range(100))
+        answers = {i: platform.history.answers_for(i) for i in range(100)}
+        joint = JointInference(
+            NaiveBayesClassifier(6, 2), blobs.features,
+            expert_mask=pool.expert_mask,
+        )
+        result = joint.infer(answers, 2, len(pool))
+        truths = platform.evaluation_labels()
+        acc = np.mean([result.labels[i] == truths[i] for i in range(100)])
+        assert acc > 0.75

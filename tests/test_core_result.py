@@ -1,0 +1,54 @@
+"""Tests for repro.core.result."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import LabelSource, LabellingOutcome
+from repro.exceptions import ConfigurationError
+
+
+def make_outcome(**kwargs):
+    defaults = dict(
+        framework="test",
+        final_labels=np.array([0, 1, 1, 0]),
+        label_sources=np.array([0, 0, 1, 2]),
+        spent=10.0,
+        budget=20.0,
+        iterations=3,
+    )
+    defaults.update(kwargs)
+    return LabellingOutcome(**defaults)
+
+
+class TestLabellingOutcome:
+    def test_source_counts(self):
+        outcome = make_outcome()
+        assert outcome.source_counts() == {
+            "human": 2, "enriched": 1, "predicted": 1
+        }
+
+    def test_n_objects(self):
+        assert make_outcome().n_objects == 4
+
+    def test_evaluate(self):
+        outcome = make_outcome()
+        report = outcome.evaluate(np.array([0, 1, 0, 0]))
+        assert report.accuracy == pytest.approx(0.75)
+        assert report.n_evaluated == 4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_outcome(label_sources=np.array([0, 0]))
+
+    def test_overspend_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_outcome(spent=25.0)
+
+    def test_negative_spend_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_outcome(spent=-1.0)
+
+    def test_label_source_enum_values(self):
+        assert LabelSource.HUMAN == 0
+        assert LabelSource.ENRICHED == 1
+        assert LabelSource.PREDICTED == 2

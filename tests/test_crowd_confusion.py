@@ -1,0 +1,133 @@
+"""Tests for repro.crowd.confusion."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.confusion import ConfusionMatrix
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_valid_matrix(self):
+        cm = ConfusionMatrix(np.array([[0.9, 0.1], [0.2, 0.8]]))
+        assert cm.n_classes == 2
+
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix(np.array([[0.9, 0.2], [0.2, 0.8]]))
+
+    def test_uniform(self):
+        cm = ConfusionMatrix.uniform(3)
+        np.testing.assert_allclose(cm.matrix, 1 / 3)
+        assert cm.quality() == pytest.approx(1 / 3)
+
+    def test_from_accuracy(self):
+        cm = ConfusionMatrix.from_accuracy(3, 0.7)
+        np.testing.assert_allclose(np.diag(cm.matrix), 0.7)
+        np.testing.assert_allclose(cm.matrix.sum(axis=1), 1.0)
+        assert cm.matrix[0, 1] == pytest.approx(0.15)
+
+    def test_from_accuracy_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.from_accuracy(2, 1.5)
+
+    def test_random_diagonal_in_range(self):
+        cm = ConfusionMatrix.random(4, diagonal_low=0.6, diagonal_high=0.8,
+                                    rng=0)
+        diag = np.diag(cm.matrix)
+        assert (diag >= 0.6).all() and (diag <= 0.8).all()
+        np.testing.assert_allclose(cm.matrix.sum(axis=1), 1.0)
+
+    def test_random_invalid_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.random(2, diagonal_low=0.8, diagonal_high=0.6)
+
+
+class TestQuality:
+    def test_paper_example_expert_quality(self):
+        """Table V: w4's matrix has quality (0.98 + 0.99) / 2 = 0.985."""
+        cm = ConfusionMatrix(np.array([[0.98, 0.02], [0.01, 0.99]]))
+        assert cm.quality() == pytest.approx(0.985)
+
+    def test_paper_example_worker_quality(self):
+        """Table IV: w1 has quality (0.60 + 0.70) / 2 = 0.65."""
+        cm = ConfusionMatrix(np.array([[0.60, 0.40], [0.30, 0.70]]))
+        assert cm.quality() == pytest.approx(0.65)
+
+    def test_identity_is_perfect(self):
+        assert ConfusionMatrix(np.eye(4)).quality() == 1.0
+
+
+class TestSampling:
+    def test_perfect_annotator_always_correct(self):
+        cm = ConfusionMatrix(np.eye(3))
+        rng = np.random.default_rng(0)
+        assert all(cm.sample_answer(c, rng) == c for c in range(3)
+                   for _ in range(5))
+
+    def test_empirical_frequency_matches(self):
+        cm = ConfusionMatrix.from_accuracy(2, 0.8)
+        rng = np.random.default_rng(1)
+        answers = [cm.sample_answer(0, rng) for _ in range(3000)]
+        assert np.mean(np.array(answers) == 0) == pytest.approx(0.8, abs=0.03)
+
+    def test_out_of_range_class_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.uniform(2).sample_answer(2)
+
+    def test_likelihood(self):
+        cm = ConfusionMatrix.from_accuracy(2, 0.9)
+        assert cm.likelihood(0, 0) == pytest.approx(0.9)
+        assert cm.likelihood(0, 1) == pytest.approx(0.1)
+
+
+class TestEstimation:
+    def test_estimate_from_counts(self):
+        counts = np.array([[8, 2], [1, 9]])
+        cm = ConfusionMatrix.estimate_from_counts(counts, smoothing=0.0)
+        assert cm.matrix[0, 0] == pytest.approx(0.8)
+        assert cm.matrix[1, 1] == pytest.approx(0.9)
+
+    def test_smoothing_handles_empty_rows(self):
+        counts = np.array([[0, 0], [0, 10]])
+        cm = ConfusionMatrix.estimate_from_counts(counts, smoothing=1.0)
+        np.testing.assert_allclose(cm.matrix[0], [0.5, 0.5])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.estimate_from_counts(np.ones((2, 3)))
+
+    def test_negative_smoothing_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.estimate_from_counts(np.eye(2), smoothing=-1)
+
+
+class TestQualityFloor:
+    def test_low_diagonal_raised_to_floor(self):
+        cm = ConfusionMatrix(np.array([[0.5, 0.5], [0.95, 0.05]]))
+        bounded = cm.with_quality_floor(0.9)
+        assert bounded.matrix[0, 0] == pytest.approx(0.9)
+        # Second row's diagonal is 0.05 < 0.9, so it is floored too.
+        assert bounded.matrix[1, 1] == pytest.approx(0.9)
+        np.testing.assert_allclose(bounded.matrix.sum(axis=1), 1.0)
+
+    def test_high_diagonal_untouched(self):
+        cm = ConfusionMatrix(np.array([[0.95, 0.05], [0.03, 0.97]]))
+        bounded = cm.with_quality_floor(0.9)
+        np.testing.assert_allclose(bounded.matrix, cm.matrix)
+
+    def test_returns_copy(self):
+        cm = ConfusionMatrix.from_accuracy(2, 0.5)
+        bounded = cm.with_quality_floor(0.9)
+        assert bounded is not cm
+        assert cm.matrix[0, 0] == pytest.approx(0.5)
+
+    def test_invalid_floor_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.uniform(2).with_quality_floor(1.0)
+
+    def test_multiclass_off_diagonal_uniform(self):
+        cm = ConfusionMatrix.uniform(4)
+        bounded = cm.with_quality_floor(0.85)
+        assert bounded.matrix[0, 0] == pytest.approx(0.85)
+        np.testing.assert_allclose(bounded.matrix[0, 1:], 0.05)

@@ -1,0 +1,96 @@
+"""Tests for repro.crowd.platform."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.cost import BudgetManager
+from repro.crowd.platform import CrowdPlatform
+from repro.exceptions import BudgetExhaustedError, ConfigurationError
+
+from conftest import build_pool
+
+
+def make_platform_with(budget=50.0, n_objects=10, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n_objects)
+    return CrowdPlatform(labels, build_pool(), BudgetManager(budget))
+
+
+class TestAsk:
+    def test_ask_charges_and_records(self):
+        platform = make_platform_with()
+        record = platform.ask(0, 0)
+        assert record.cost == 1.0
+        assert platform.budget.spent == 1.0
+        assert platform.history.has_answered(0, 0)
+        assert platform.answer_log == [record]
+
+    def test_expert_costs_more(self):
+        platform = make_platform_with()
+        record = platform.ask(0, 3)  # the expert in build_pool
+        assert record.cost == 10.0
+
+    def test_duplicate_pair_raises(self):
+        platform = make_platform_with()
+        platform.ask(0, 0)
+        with pytest.raises(ConfigurationError):
+            platform.ask(0, 0)
+
+    def test_budget_enforced(self):
+        platform = make_platform_with(budget=1.0)
+        platform.ask(0, 0)
+        with pytest.raises(BudgetExhaustedError):
+            platform.ask(1, 0)
+
+    def test_answers_come_from_latent_matrix(self):
+        # Accuracy-1.0 expert always returns the truth.
+        from conftest import build_pool as bp
+
+        pool = bp(worker_accs=(), expert_accs=(1.0,))
+        labels = np.array([0, 1, 1, 0])
+        platform = CrowdPlatform(labels, pool, BudgetManager(100.0))
+        for i, truth in enumerate(labels):
+            assert platform.ask(i, 0).answer == truth
+
+
+class TestAskBatch:
+    def test_collects_all_affordable(self):
+        platform = make_platform_with(budget=100.0)
+        records = platform.ask_batch([(0, [0, 1]), (1, [0])])
+        assert len(records) == 3
+
+    def test_stops_at_budget(self):
+        platform = make_platform_with(budget=2.0)
+        records = platform.ask_batch([(0, [0, 1, 2])])
+        assert len(records) == 2
+        assert platform.budget.remaining == 0.0
+
+    def test_skips_duplicates_silently(self):
+        platform = make_platform_with()
+        platform.ask(0, 0)
+        records = platform.ask_batch([(0, [0, 1])])
+        assert [r.annotator_id for r in records] == [1]
+
+    def test_empty_assignment_list(self):
+        platform = make_platform_with()
+        assert platform.ask_batch([]) == []
+
+
+class TestConstruction:
+    def test_label_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            CrowdPlatform(np.array([0, 2]), build_pool(), BudgetManager(10.0))
+
+    def test_empty_labels_raise(self):
+        with pytest.raises(ConfigurationError):
+            CrowdPlatform(np.array([]), build_pool(), BudgetManager(10.0))
+
+    def test_evaluation_labels_is_copy(self):
+        platform = make_platform_with()
+        labels = platform.evaluation_labels()
+        labels[0] = 1 - labels[0]
+        assert platform.evaluation_labels()[0] != labels[0]
+
+    def test_cheapest_cost(self):
+        platform = make_platform_with()
+        assert platform.cheapest_cost() == 1.0

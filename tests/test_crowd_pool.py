@@ -1,0 +1,115 @@
+"""Tests for repro.crowd.pool and repro.crowd.annotator."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.crowd.cost import CostModel
+from repro.crowd.history import LabellingHistory
+from repro.crowd.pool import AnnotatorPool
+from repro.exceptions import ConfigurationError
+
+from conftest import build_pool
+
+
+class TestAnnotator:
+    def test_expert_flag(self):
+        a = Annotator(0, AnnotatorKind.EXPERT, ConfusionMatrix.uniform(2), 10.0)
+        assert a.is_expert
+        w = Annotator(0, AnnotatorKind.WORKER, ConfusionMatrix.uniform(2), 1.0)
+        assert not w.is_expert
+
+    def test_answer_uses_confusion(self):
+        a = Annotator(0, AnnotatorKind.EXPERT, ConfusionMatrix(np.eye(2)), 1.0)
+        assert a.answer(1) == 1
+
+    def test_invalid_cost_raises(self):
+        with pytest.raises(ConfigurationError):
+            Annotator(0, AnnotatorKind.WORKER, ConfusionMatrix.uniform(2), 0.0)
+
+    def test_seeded_copy_deterministic(self):
+        a = Annotator(0, AnnotatorKind.WORKER,
+                      ConfusionMatrix.from_accuracy(2, 0.7), 1.0)
+        s1 = a.seeded(123)
+        s2 = a.seeded(123)
+        assert [s1.answer(0) for _ in range(10)] == [s2.answer(0) for _ in range(10)]
+
+    def test_true_quality(self):
+        a = Annotator(0, AnnotatorKind.WORKER,
+                      ConfusionMatrix.from_accuracy(2, 0.7), 1.0)
+        assert a.true_quality == pytest.approx(0.7)
+
+
+class TestPoolBuild:
+    def test_build_counts_and_kinds(self):
+        pool = AnnotatorPool.build(2, n_workers=3, n_experts=2, rng=0)
+        assert len(pool) == 5
+        np.testing.assert_array_equal(
+            pool.expert_mask, [False, False, False, True, True]
+        )
+
+    def test_build_costs(self):
+        pool = AnnotatorPool.build(
+            2, 2, 1, cost_model=CostModel(1.0, 10.0), rng=0
+        )
+        np.testing.assert_array_equal(pool.costs, [1.0, 1.0, 10.0])
+
+    def test_build_accuracy_ranges(self):
+        pool = AnnotatorPool.build(
+            2, 5, 5, worker_accuracy=(0.6, 0.7),
+            expert_accuracy=(0.95, 0.99), rng=0,
+        )
+        qualities = pool.true_qualities()
+        assert (qualities[:5] <= 0.7 + 1e-9).all()
+        assert (qualities[5:] >= 0.95 - 1e-9).all()
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ConfigurationError):
+            AnnotatorPool.build(2, 0, 0)
+
+    def test_ids_must_be_sequential(self):
+        a = Annotator(1, AnnotatorKind.WORKER, ConfusionMatrix.uniform(2), 1.0)
+        with pytest.raises(ConfigurationError):
+            AnnotatorPool([a], 2)
+
+    def test_class_count_mismatch_raises(self):
+        a = Annotator(0, AnnotatorKind.WORKER, ConfusionMatrix.uniform(3), 1.0)
+        with pytest.raises(ConfigurationError):
+            AnnotatorPool([a], 2)
+
+    def test_deterministic_given_seed(self):
+        q1 = AnnotatorPool.build(2, 3, 2, rng=7).true_qualities()
+        q2 = AnnotatorPool.build(2, 3, 2, rng=7).true_qualities()
+        np.testing.assert_array_equal(q1, q2)
+
+
+class TestEstimates:
+    def test_initial_estimates_optimistic_for_experts(self):
+        pool = build_pool()
+        est = pool.estimated_qualities()
+        assert est[-1] > est[0]
+
+    def test_update_estimates_from_truths(self):
+        pool = build_pool(worker_accs=(0.6,), expert_accs=())
+        history = LabellingHistory(20, 1, 2)
+        truths = {}
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            truth = int(rng.integers(2))
+            truths[i] = truth
+            history.record(i, 0, truth)  # annotator always agrees with truth
+        pool.update_estimates(history, truths, smoothing=0.0)
+        assert pool.estimated_qualities()[0] == pytest.approx(1.0)
+
+    def test_update_skips_unseen_annotators(self):
+        pool = build_pool()
+        before = pool.estimated_qualities().copy()
+        history = LabellingHistory(5, len(pool), 2)
+        pool.update_estimates(history, {})
+        np.testing.assert_array_equal(pool.estimated_qualities(), before)
+
+    def test_set_estimate_validates_classes(self):
+        pool = build_pool()
+        with pytest.raises(ConfigurationError):
+            pool.set_estimate(0, ConfusionMatrix.uniform(3))

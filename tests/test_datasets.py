@@ -1,0 +1,179 @@
+"""Tests for repro.datasets (generators and registry)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.datasets import (
+    DATASET_NAMES,
+    LabelledDataset,
+    load_dataset,
+    make_blobs,
+    make_fashion,
+    make_speech,
+)
+from repro.datasets.speech import CONTEXTUAL_DIM, PROSODIC_DIM, SPEECH3_SIZE, SPEECH12_SIZE
+from repro.datasets.fashion import FASHION_SIZE
+from repro.exceptions import DatasetError
+
+
+class TestLabelledDataset:
+    def test_basic_properties(self):
+        ds = LabelledDataset("x", np.zeros((4, 3)), np.array([0, 1, 0, 1]), 2)
+        assert ds.n_objects == 4
+        assert ds.n_features == 3
+        np.testing.assert_allclose(ds.class_balance(), [0.5, 0.5])
+
+    def test_label_shape_validated(self):
+        with pytest.raises(DatasetError):
+            LabelledDataset("x", np.zeros((4, 3)), np.array([0, 1]), 2)
+
+    def test_label_range_validated(self):
+        with pytest.raises(DatasetError):
+            LabelledDataset("x", np.zeros((2, 3)), np.array([0, 2]), 2)
+
+    def test_subsample_fraction(self):
+        ds = make_blobs(100, 4, rng=0)
+        sub = ds.subsample(0.3, rng=1)
+        assert abs(sub.n_objects - 30) <= 2
+        assert sub.n_features == 4
+
+    def test_subsample_stratified_keeps_all_classes(self):
+        ds = make_blobs(100, 4, n_classes=2,
+                        class_balance=np.array([0.95, 0.05]), rng=0)
+        sub = ds.subsample(0.1, rng=1)
+        assert set(np.unique(sub.labels)) == {0, 1}
+
+    def test_subsample_one_is_identity(self):
+        ds = make_blobs(20, 4, rng=0)
+        assert ds.subsample(1.0) is ds
+
+    def test_subsample_invalid_fraction(self):
+        ds = make_blobs(20, 4, rng=0)
+        with pytest.raises(DatasetError):
+            ds.subsample(0.0)
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        ds = make_blobs(50, 7, rng=0)
+        assert ds.features.shape == (50, 7)
+        assert ds.labels.shape == (50,)
+
+    def test_separation_controls_difficulty(self):
+        easy = make_blobs(300, 6, separation=4.0, rng=0)
+        hard = make_blobs(300, 6, separation=0.5, rng=0)
+
+        def fit_acc(ds):
+            clf = LogisticRegressionClassifier(6, 2).fit(ds.features, ds.labels)
+            return (clf.predict(ds.features) == ds.labels).mean()
+
+        assert fit_acc(easy) > fit_acc(hard) + 0.1
+
+    def test_uninformative_dims_are_noise(self):
+        ds = make_blobs(500, 10, n_informative=2, separation=5.0, rng=0)
+        # Class-conditional means should differ only in informative dims.
+        mean_diff = np.abs(
+            ds.features[ds.labels == 0].mean(axis=0)
+            - ds.features[ds.labels == 1].mean(axis=0)
+        )
+        assert mean_diff[:2].max() > 5 * mean_diff[2:].max()
+
+    def test_class_balance_respected(self):
+        ds = make_blobs(2000, 3, class_balance=np.array([0.8, 0.2]), rng=0)
+        assert ds.class_balance()[0] == pytest.approx(0.8, abs=0.05)
+
+    def test_deterministic(self):
+        a = make_blobs(30, 4, rng=9)
+        b = make_blobs(30, 4, rng=9)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(DatasetError):
+            make_blobs(0, 3)
+        with pytest.raises(DatasetError):
+            make_blobs(10, 3, n_informative=5)
+        with pytest.raises(DatasetError):
+            make_blobs(10, 3, n_classes=1)
+
+
+class TestMakeSpeech:
+    def test_paper_sizes_at_full_scale(self):
+        assert make_speech("12", "C", rng=0).n_objects == SPEECH12_SIZE
+        assert make_speech("3", "C", rng=0).n_objects == SPEECH3_SIZE
+
+    def test_view_dimensions(self):
+        c = make_speech("12", "C", scale=1.0, rng=0)
+        p = make_speech("12", "P", scale=1.0, rng=0)
+        cp = make_speech("12", "CP", scale=1.0, rng=0)
+        assert c.n_features == CONTEXTUAL_DIM
+        assert p.n_features == PROSODIC_DIM
+        assert cp.n_features == CONTEXTUAL_DIM + PROSODIC_DIM
+
+    def test_scale_shrinks(self):
+        ds = make_speech("12", "CP", scale=0.05, rng=0)
+        assert ds.n_objects == round(SPEECH12_SIZE * 0.05)
+        assert ds.n_features < 200
+
+    def test_concatenated_view_beats_single_views(self):
+        """The paper's observation (5): S·CP > max(S·C, S·P).
+
+        Measured on held-out data — in the wide prosodic view a linear
+        model can reach 100% *training* accuracy by overfitting, so only
+        generalisation accuracy is meaningful here.
+        """
+        def holdout_acc(view, seed=0):
+            ds = make_speech("12", view, scale=0.3, rng=seed)
+            half = ds.n_objects // 2
+            clf = LogisticRegressionClassifier(ds.n_features, 2)
+            clf.fit(ds.features[:half], ds.labels[:half])
+            return (clf.predict(ds.features[half:]) == ds.labels[half:]).mean()
+
+        acc_c = np.mean([holdout_acc("C", s) for s in range(3)])
+        acc_p = np.mean([holdout_acc("P", s) for s in range(3)])
+        acc_cp = np.mean([holdout_acc("CP", s) for s in range(3)])
+        assert acc_cp > max(acc_c, acc_p)
+
+    def test_speech3_harder_than_speech12(self):
+        s12 = make_speech("12", "CP", scale=0.2, rng=0)
+        s3 = make_speech("3", "CP", scale=0.2, rng=0)
+        assert s3.metadata["separation"] < s12.metadata["separation"]
+
+    def test_invalid_grade_and_view_raise(self):
+        with pytest.raises(DatasetError):
+            make_speech("7", "C")
+        with pytest.raises(DatasetError):
+            make_speech("12", "X")
+        with pytest.raises(DatasetError):
+            make_speech("12", "C", scale=0)
+
+
+class TestMakeFashion:
+    def test_paper_size(self):
+        assert make_fashion(scale=1.0, rng=0).n_objects == FASHION_SIZE
+
+    def test_easier_than_speech(self):
+        fashion = make_fashion(scale=0.01, rng=0)
+        speech = make_speech("3", "CP", scale=0.1, rng=0)
+        assert fashion.metadata["separation"] > speech.metadata["separation"]
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(DatasetError):
+            make_fashion(scale=1.5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_paper_names_load(self, name):
+        ds = load_dataset(name, scale=0.01, rng=0)
+        assert ds.n_objects >= 20
+        assert ds.n_classes == 2
+
+    def test_case_insensitive(self):
+        assert load_dataset("fashion", scale=0.01, rng=0).name == "Fashion"
+        assert load_dataset("s12cp", scale=0.01, rng=0).name == "S12CP"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")

@@ -1,0 +1,148 @@
+"""Tests for per-object difficulty: generation, validation, simulation."""
+
+import numpy as np
+import pytest
+
+from repro import BudgetManager, make_platform
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.crowd.platform import CrowdPlatform
+from repro.datasets.base import LabelledDataset
+from repro.datasets.synthetic import bayes_difficulty, make_blobs
+from repro.exceptions import ConfigurationError, DatasetError
+
+from conftest import build_pool
+
+
+class TestBayesDifficulty:
+    def test_boundary_objects_harder(self):
+        means = np.array([[-2.0], [2.0]])
+        prior = np.array([0.5, 0.5])
+        features = np.array([[-2.0], [0.0], [2.0]])
+        difficulty = bayes_difficulty(features, means, 1.0, prior)
+        assert difficulty[1] > difficulty[0]
+        assert difficulty[1] > difficulty[2]
+        assert difficulty[1] == pytest.approx(1.0)  # dead centre
+
+    def test_range(self):
+        ds = make_blobs(200, 5, separation=2.0, with_difficulty=True, rng=0)
+        assert ds.difficulty is not None
+        assert ds.difficulty.min() >= 0.0
+        assert ds.difficulty.max() <= 1.0
+
+    def test_separation_lowers_mean_difficulty(self):
+        easy = make_blobs(300, 4, separation=5.0, with_difficulty=True, rng=0)
+        hard = make_blobs(300, 4, separation=0.5, with_difficulty=True, rng=0)
+        assert easy.difficulty.mean() < hard.difficulty.mean()
+
+    def test_off_by_default(self):
+        assert make_blobs(10, 3, rng=0).difficulty is None
+
+
+class TestAnnotatorDifficulty:
+    def make_annotator(self, accuracy=0.9):
+        return Annotator(0, AnnotatorKind.WORKER,
+                         ConfusionMatrix.from_accuracy(2, accuracy), 1.0,
+                         _rng=np.random.default_rng(0))
+
+    def test_difficulty_one_is_coin_flip(self):
+        annotator = self.make_annotator(accuracy=1.0)
+        answers = [annotator.answer(0, difficulty=1.0) for _ in range(2000)]
+        assert np.mean(answers) == pytest.approx(0.5, abs=0.05)
+
+    def test_difficulty_zero_is_normal_expertise(self):
+        annotator = self.make_annotator(accuracy=1.0)
+        assert all(annotator.answer(1, difficulty=0.0) == 1
+                   for _ in range(20))
+
+    def test_intermediate_difficulty_interpolates(self):
+        annotator = self.make_annotator(accuracy=0.9)
+        answers = [annotator.answer(0, difficulty=0.5) for _ in range(3000)]
+        # Effective accuracy = 0.5*0.9 + 0.5*0.5 = 0.70.
+        assert np.mean(np.array(answers) == 0) == pytest.approx(0.70, abs=0.04)
+
+    def test_invalid_difficulty_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make_annotator().answer(0, difficulty=1.5)
+
+
+class TestPlatformDifficulty:
+    def test_platform_applies_difficulty(self):
+        pool = build_pool(worker_accs=(1.0,), expert_accs=())
+        labels = np.zeros(400, dtype=int)
+        difficulty = np.concatenate([np.zeros(200), np.ones(200)])
+        platform = CrowdPlatform(labels, pool, BudgetManager(10.0 ** 6),
+                                 difficulty=difficulty)
+        records = platform.ask_batch((i, [0]) for i in range(400))
+        easy_correct = np.mean([r.answer == 0 for r in records[:200]])
+        hard_correct = np.mean([r.answer == 0 for r in records[200:]])
+        assert easy_correct == 1.0
+        assert hard_correct == pytest.approx(0.5, abs=0.1)
+
+    def test_difficulty_shape_validated(self):
+        pool = build_pool()
+        with pytest.raises(ConfigurationError):
+            CrowdPlatform(np.array([0, 1]), pool, BudgetManager(10.0),
+                          difficulty=np.array([0.5]))
+
+    def test_difficulty_range_validated(self):
+        pool = build_pool()
+        with pytest.raises(ConfigurationError):
+            CrowdPlatform(np.array([0, 1]), pool, BudgetManager(10.0),
+                          difficulty=np.array([0.5, 1.5]))
+
+    def test_make_platform_forwards_difficulty(self):
+        ds = make_blobs(30, 4, with_difficulty=True, rng=0)
+        platform = make_platform(ds, n_workers=2, n_experts=1,
+                                 budget=100.0, rng=1)
+        assert platform._difficulty is not None
+
+
+class TestDatasetDifficultyField:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            LabelledDataset("x", np.zeros((2, 2)), np.array([0, 1]), 2,
+                            difficulty=np.array([0.5]))
+        with pytest.raises(DatasetError):
+            LabelledDataset("x", np.zeros((2, 2)), np.array([0, 1]), 2,
+                            difficulty=np.array([0.5, 2.0]))
+
+    def test_subsample_slices_difficulty(self):
+        ds = make_blobs(100, 4, with_difficulty=True, rng=0)
+        sub = ds.subsample(0.3, rng=1)
+        assert sub.difficulty is not None
+        assert sub.difficulty.shape == sub.labels.shape
+
+    def test_end_to_end_with_difficulty(self):
+        from repro import CrowdRL, CrowdRLConfig
+
+        ds = make_blobs(40, 5, separation=2.5, with_difficulty=True, rng=0)
+        platform = make_platform(ds, n_workers=3, n_experts=1,
+                                 budget=150.0, rng=1)
+        config = CrowdRLConfig(alpha=0.1, batch_size=4,
+                               min_truths_for_enrichment=10,
+                               train_steps_per_iteration=1)
+        outcome = CrowdRL(config, rng=2).run(ds, platform)
+        assert outcome.final_labels.shape == (40,)
+
+
+class TestDifficultyShapesOutcomes:
+    def test_hard_objects_collect_more_disagreement(self):
+        """With difficulty on, answer sets on hard objects disagree more."""
+        pool = build_pool(worker_accs=(0.9, 0.9, 0.9), expert_accs=())
+        labels = np.zeros(300, dtype=int)
+        difficulty = np.concatenate([np.zeros(150), np.full(150, 0.9)])
+        platform = CrowdPlatform(labels, pool, BudgetManager(10.0 ** 6),
+                                 difficulty=difficulty)
+        platform.ask_batch((i, [0, 1, 2]) for i in range(300))
+
+        def mean_disagreement(ids):
+            vals = []
+            for i in ids:
+                counts = platform.history.answer_counts(i)
+                vals.append(1.0 - counts.max() / counts.sum())
+            return float(np.mean(vals))
+
+        assert mean_disagreement(range(150, 300)) > (
+            mean_disagreement(range(150)) + 0.1
+        )

@@ -1,0 +1,61 @@
+"""Behavioural tests for DLTA's acquisition and IDLE's escalation logic."""
+
+import numpy as np
+import pytest
+
+from repro import make_platform
+from repro.baselines.dlta import DLTA
+from repro.baselines.idle import IDLE
+from repro.datasets.synthetic import make_blobs
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_blobs(40, 5, separation=3.0, rng=6)
+
+
+class TestDLTABehaviour:
+    def test_acquisition_covers_or_settles(self, dataset):
+        """DLTA either keeps acquiring until coverage/budget, or stops once
+        every posterior is confident — never crashes in between."""
+        platform = make_platform(dataset, n_workers=3, n_experts=1,
+                                 budget=200.0, rng=7)
+        outcome = DLTA(alpha=0.2, k_per_object=2,
+                       rng=np.random.default_rng(8)).run(dataset, platform)
+        covered = platform.history.answered_objects().size
+        settled_early = outcome.spent < 200.0
+        assert covered == dataset.n_objects or settled_early
+        assert outcome.extras["n_truths"] > 0
+
+    def test_stops_when_everything_settled(self, dataset):
+        """With a huge budget DLTA terminates by confidence, not budget."""
+        platform = make_platform(dataset, n_workers=3, n_experts=1,
+                                 budget=100_000.0, rng=7)
+        outcome = DLTA(rng=np.random.default_rng(8)).run(dataset, platform)
+        assert outcome.spent < 100_000.0
+
+
+class TestIDLEBehaviour:
+    def test_unsolvable_objects_tracked(self, dataset):
+        """With experts exhausted fast, ambiguous objects end 'unsolvable'
+        or pending rather than crashing the run."""
+        platform = make_platform(dataset, n_workers=3, n_experts=1,
+                                 budget=80.0, rng=9)
+        outcome = IDLE(escalation_confidence=0.99,
+                       rng=np.random.default_rng(10)).run(dataset, platform)
+        extras = outcome.extras
+        assert (extras["n_unsolvable"] + extras["n_escalated_pending"]
+                + extras["n_truths"]) > 0
+
+    def test_random_selection_covers_fresh_objects(self, dataset):
+        platform = make_platform(dataset, n_workers=3, n_experts=1,
+                                 budget=300.0, rng=11)
+        IDLE(rng=np.random.default_rng(12)).run(dataset, platform)
+        covered = platform.history.answered_objects()
+        assert covered.size > dataset.n_objects * 0.5
+
+    def test_expert_only_pool_does_not_crash(self, dataset):
+        platform = make_platform(dataset, n_workers=0, n_experts=2,
+                                 budget=120.0, rng=13)
+        outcome = IDLE(rng=np.random.default_rng(14)).run(dataset, platform)
+        assert outcome.final_labels.shape == (dataset.n_objects,)

@@ -1,0 +1,72 @@
+"""Cross-mode environment behaviour: sticky runs, PM runs, edge budgets."""
+
+import numpy as np
+import pytest
+
+from repro import CrowdRL, CrowdRLConfig, make_platform
+from repro.core.result import LabelSource
+from repro.datasets.synthetic import make_blobs
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_blobs(45, 6, separation=3.0, rng=4)
+
+
+def run_with(dataset, budget=160.0, **config_kwargs):
+    defaults = dict(alpha=0.1, batch_size=4, k_per_object=2,
+                    min_truths_for_enrichment=10,
+                    train_steps_per_iteration=1, max_iterations=80)
+    defaults.update(config_kwargs)
+    platform = make_platform(dataset, n_workers=3, n_experts=1,
+                             budget=budget, rng=9)
+    outcome = CrowdRL(CrowdRLConfig(**defaults), rng=10).run(dataset, platform)
+    return outcome, platform
+
+
+class TestStickyMode:
+    def test_sticky_enriched_objects_never_rehumanised(self, dataset):
+        outcome, platform = run_with(dataset, budget=5_000.0,
+                                     sticky_enrichment=True)
+        # In sticky mode, an ENRICHED-sourced object must have no human
+        # answers *after* it was enriched; since enriched objects are
+        # masked, they can only carry answers from before enrichment.
+        enriched_ids = np.nonzero(
+            outcome.label_sources == LabelSource.ENRICHED
+        )[0]
+        assert enriched_ids.size > 0  # sticky run does enrich
+
+    def test_sticky_underspends_large_budget(self, dataset):
+        outcome, _ = run_with(dataset, budget=50_000.0,
+                              sticky_enrichment=True)
+        assert outcome.spent < 50_000.0
+
+
+class TestPMMode:
+    def test_pm_inference_runs_and_labels(self, dataset):
+        outcome, platform = run_with(dataset, inference_method="pm")
+        report = outcome.evaluate(platform.evaluation_labels())
+        assert report.accuracy > 0.5
+
+    def test_pm_mode_has_no_joint_classifier_bias(self, dataset):
+        """PM mode must still produce a classifier for enrichment."""
+        outcome, _ = run_with(dataset, inference_method="pm",
+                              budget=400.0)
+        counts = outcome.source_counts()
+        assert counts["enriched"] + counts["predicted"] > 0
+
+
+class TestEdgeBudgets:
+    def test_budget_below_initial_sample(self, dataset):
+        # Budget affords only part of the alpha-sample.
+        outcome, platform = run_with(dataset, budget=3.0)
+        assert outcome.spent <= 3.0
+        assert outcome.final_labels.shape == (45,)
+
+    def test_budget_exactly_one_answer(self, dataset):
+        outcome, _ = run_with(dataset, budget=1.0)
+        assert outcome.spent <= 1.0
+
+    def test_greedy_no_ucb_mode(self, dataset):
+        outcome, _ = run_with(dataset, ucb_exploration=False)
+        assert outcome.final_labels.shape == (45,)

@@ -1,0 +1,109 @@
+"""Tests for the per-object expert cap (composition-constrained top-k)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import Agent
+from repro.core.config import CrowdRLConfig
+from repro.core.state import LabellingState
+from repro.crowd.cost import BudgetManager
+from repro.crowd.history import LabellingHistory
+from repro.utils.topk import select_objects_by_topk_q
+
+from conftest import build_pool
+
+
+class TestGroupCappedTopK:
+    Q = np.array([
+        [5.0, 4.0, 3.0, 2.0, 1.0],
+    ])
+
+    def test_cap_limits_group_members(self):
+        # Annotators 0 and 1 (highest scores) are in the capped group.
+        mask = np.array([True, True, False, False, False])
+        (obj, annotators), = select_objects_by_topk_q(
+            self.Q, 3, 1, group_mask=mask, max_group=1
+        )
+        assert obj == 0
+        assert annotators == [0, 2, 3]  # one expert + next-best workers
+
+    def test_cap_zero_excludes_group(self):
+        mask = np.array([True, True, False, False, False])
+        (_, annotators), = select_objects_by_topk_q(
+            self.Q, 3, 1, group_mask=mask, max_group=0
+        )
+        assert annotators == [2, 3, 4]
+
+    def test_no_mask_behaves_as_before(self):
+        (_, annotators), = select_objects_by_topk_q(self.Q, 3, 1)
+        assert annotators == [0, 1, 2]
+
+    def test_cap_larger_than_group_is_noop(self):
+        mask = np.array([True, True, False, False, False])
+        (_, annotators), = select_objects_by_topk_q(
+            self.Q, 3, 1, group_mask=mask, max_group=5
+        )
+        assert annotators == [0, 1, 2]
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            select_objects_by_topk_q(
+                self.Q, 2, 1, group_mask=np.array([True]), max_group=1
+            )
+
+    def test_max_group_required_with_mask(self):
+        mask = np.zeros(5, dtype=bool)
+        with pytest.raises(ValueError):
+            select_objects_by_topk_q(self.Q, 2, 1, group_mask=mask,
+                                     max_group=None)
+
+    def test_masked_entries_still_skipped(self):
+        q = self.Q.copy()
+        q[0, 2] = -np.inf
+        mask = np.array([True, True, False, False, False])
+        (_, annotators), = select_objects_by_topk_q(
+            q, 3, 1, group_mask=mask, max_group=1
+        )
+        assert annotators == [0, 3, 4]
+
+
+class TestAgentExpertCap:
+    def make(self, max_experts):
+        config = CrowdRLConfig(batch_size=2, k_per_object=3,
+                               max_experts_per_object=max_experts)
+        pool = build_pool(worker_accs=(0.7, 0.65, 0.6),
+                          expert_accs=(0.95, 0.93))
+        agent = Agent(6, len(pool), config, rng=np.random.default_rng(0))
+        history = LabellingHistory(6, len(pool), 2)
+        state = LabellingState(history, pool, BudgetManager(500.0))
+        return agent, state, pool
+
+    def test_cap_one_expert_per_object(self):
+        agent, state, pool = self.make(max_experts=1)
+        expert_ids = {a.annotator_id for a in pool if a.is_expert}
+        for assignment in agent.act(state):
+            n_experts = len(set(assignment.annotator_ids) & expert_ids)
+            assert n_experts <= 1
+
+    def test_uncapped_allows_expert_pairs(self):
+        agent, state, pool = self.make(max_experts=None)
+        assignments = agent.act(state)
+        assert assignments  # no constraint violations, just a smoke check
+
+    def test_cap_respected_in_random_ta(self):
+        config = CrowdRLConfig(batch_size=4, k_per_object=3,
+                               max_experts_per_object=1, ts_mode="random")
+        pool = build_pool(worker_accs=(0.7, 0.65, 0.6),
+                          expert_accs=(0.95, 0.93))
+        agent = Agent(6, len(pool), config, rng=np.random.default_rng(1))
+        history = LabellingHistory(6, len(pool), 2)
+        state = LabellingState(history, pool, BudgetManager(500.0))
+        expert_ids = {a.annotator_id for a in pool if a.is_expert}
+        for assignment in agent.act(state):
+            assert len(set(assignment.annotator_ids) & expert_ids) <= 1
+
+    def test_invalid_cap_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CrowdRLConfig(max_experts_per_object=-1)

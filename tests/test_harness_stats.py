@@ -1,0 +1,87 @@
+"""Tests for seed-level statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.stats import (
+    MetricSummary,
+    bootstrap_mean_difference,
+    paired_win_rate,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        s = summarize([0.8, 0.9, 1.0])
+        assert s.mean == pytest.approx(0.9)
+        assert s.std == pytest.approx(0.1)
+        assert s.n == 3
+
+    def test_ci_contains_mean(self):
+        s = summarize(np.random.default_rng(0).normal(0.7, 0.05, 30))
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = summarize(rng.normal(0.7, 0.1, 5), rng=0)
+        large = summarize(rng.normal(0.7, 0.1, 200), rng=0)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_single_value_degenerate(self):
+        s = summarize([0.5])
+        assert s.mean == s.ci_low == s.ci_high == 0.5
+        assert s.std == 0.0
+
+    def test_deterministic_given_rng(self):
+        vals = [0.1, 0.5, 0.9, 0.3]
+        assert summarize(vals, rng=7) == summarize(vals, rng=7)
+
+    def test_str_format(self):
+        text = str(summarize([0.8, 0.9]))
+        assert "±" in text and "n=2" in text
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize([0.5], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            summarize([0.5], n_bootstrap=0)
+
+
+class TestPairedWinRate:
+    def test_all_wins(self):
+        assert paired_win_rate([0.9, 0.8], [0.5, 0.5]) == 1.0
+
+    def test_ties_count_half(self):
+        assert paired_win_rate([0.5, 0.9], [0.5, 0.5]) == 0.75
+
+    def test_all_losses(self):
+        assert paired_win_rate([0.1], [0.9]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            paired_win_rate([0.5], [0.5, 0.6])
+
+
+class TestBootstrapMeanDifference:
+    def test_clear_gap_excludes_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.9, 0.02, 20)
+        b = rng.normal(0.7, 0.02, 20)
+        diff, lo, hi = bootstrap_mean_difference(a, b, rng=0)
+        assert diff == pytest.approx(0.2, abs=0.03)
+        assert lo > 0
+
+    def test_no_gap_includes_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.8, 0.05, 20)
+        b = rng.normal(0.8, 0.05, 20)
+        _diff, lo, hi = bootstrap_mean_difference(a, b, rng=0)
+        assert lo <= 0 <= hi
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_difference([0.5], [0.5, 0.6])

@@ -1,0 +1,61 @@
+"""Tests for run tracing."""
+
+import numpy as np
+import pytest
+
+from repro import CrowdRL, CrowdRLConfig, make_platform
+from repro.datasets.synthetic import make_blobs
+from repro.harness.tracking import IterationRecord, RunTrace
+
+
+@pytest.fixture
+def traced_run():
+    dataset = make_blobs(40, 6, separation=3.0, rng=0)
+    platform = make_platform(dataset, n_workers=3, n_experts=1,
+                             budget=120.0, rng=1)
+    trace = RunTrace()
+    config = CrowdRLConfig(alpha=0.1, batch_size=4,
+                           min_truths_for_enrichment=10,
+                           train_steps_per_iteration=1)
+    outcome = CrowdRL(config, rng=2, trace=trace).run(dataset, platform)
+    return trace, outcome
+
+
+class TestRunTrace:
+    def test_records_every_iteration(self, traced_run):
+        trace, outcome = traced_run
+        # One record per iteration that reached the act/infer stage.
+        assert 1 <= trace.n_iterations <= outcome.iterations
+
+    def test_budget_curve_monotone(self, traced_run):
+        trace, _ = traced_run
+        spends = [s for _, s in trace.budget_curve()]
+        assert all(a <= b for a, b in zip(spends, spends[1:]))
+
+    def test_truth_counts_monotone(self, traced_run):
+        trace, _ = traced_run
+        truths = [t for _, t, _ in trace.coverage_curve()]
+        assert all(a <= b for a, b in zip(truths, truths[1:]))
+
+    def test_total_cost_matches_ledger_delta(self, traced_run):
+        trace, outcome = traced_run
+        # Iteration costs exclude only the initial alpha-sample.
+        assert trace.total_cost() <= outcome.spent + 1e-9
+        assert trace.total_cost() > 0
+
+    def test_reward_curve_matches_history(self, traced_run):
+        trace, outcome = traced_run
+        rewards = [r for _, r in trace.reward_curve()]
+        assert rewards == outcome.reward_history[:len(rewards)]
+
+    def test_to_rows_shape(self, traced_run):
+        trace, _ = traced_run
+        rows = trace.to_rows()
+        assert len(rows) == trace.n_iterations
+        assert all(len(row) == 6 for row in rows)
+
+    def test_clear(self):
+        trace = RunTrace()
+        trace.record(IterationRecord(1, 10.0, 5, 2, 0.1, 10.0, 4))
+        trace.clear()
+        assert trace.n_iterations == 0

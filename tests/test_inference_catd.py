@@ -1,0 +1,65 @@
+"""Tests for CATD confidence-aware inference."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.inference.catd import CATDInference
+
+from test_inference_em import label_accuracy, simulate_answers
+
+
+class TestCATD:
+    def test_accurate_on_standard_pool(self):
+        answers, truths, n_ann = simulate_answers()
+        result = CATDInference().infer(answers, 2, n_ann)
+        assert label_accuracy(result.labels, truths) > 0.8
+
+    def test_sparse_annotator_weight_shrunk(self):
+        """An annotator with 3 perfect answers must not outweigh one with
+        300 nearly perfect answers — the confidence bound handles it."""
+        rng = np.random.default_rng(0)
+        truths = rng.integers(0, 2, size=300)
+        answers = {}
+        for i, truth in enumerate(truths):
+            votes = {}
+            # Annotator 0: dense and excellent (97%).
+            votes[0] = int(truth) if rng.random() < 0.97 else 1 - int(truth)
+            # Annotator 1: dense, decent (75%).
+            votes[1] = int(truth) if rng.random() < 0.75 else 1 - int(truth)
+            # Annotator 2: only the first 3 objects, perfect there.
+            if i < 3:
+                votes[2] = int(truth)
+            answers[i] = votes
+        algo = CATDInference()
+        algo.infer(answers, 2, 3)
+        assert algo.weights[0] > algo.weights[2]
+
+    def test_posteriors_are_distributions(self):
+        answers, _t, n_ann = simulate_answers(n_objects=30)
+        result = CATDInference().infer(answers, 2, n_ann)
+        for post in result.posteriors.values():
+            assert post.sum() == pytest.approx(1.0)
+            assert (post >= 0).all()
+
+    def test_zero_confidence_reduces_to_pm_style(self):
+        answers, truths, n_ann = simulate_answers(n_objects=100, seed=5)
+        catd = CATDInference(confidence_z=0.0).infer(answers, 2, n_ann)
+        from repro.inference.pm import PMInference
+
+        pm = PMInference().infer(answers, 2, n_ann)
+        agreement = np.mean([
+            catd.labels[i] == pm.labels[i] for i in catd.labels
+        ])
+        assert agreement > 0.9
+
+    def test_empty_answers(self):
+        assert CATDInference().infer({}, 2, 3).labels == {}
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            CATDInference(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            CATDInference(confidence_z=-1)
+        with pytest.raises(ConfigurationError):
+            CATDInference(regulariser=0.6)

@@ -1,0 +1,67 @@
+"""Tests for the ZenCrowd single-reliability EM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.inference.zencrowd import ZenCrowd
+
+from test_inference_em import label_accuracy, simulate_answers
+
+
+class TestZenCrowd:
+    def test_accurate_on_standard_pool(self):
+        answers, truths, n_ann = simulate_answers()
+        result = ZenCrowd().infer(answers, 2, n_ann)
+        assert label_accuracy(result.labels, truths) > 0.8
+
+    def test_reliability_ordering_recovered(self):
+        answers, _truths, n_ann = simulate_answers(
+            n_objects=400, worker_accs=(0.95, 0.75, 0.55, 0.55), seed=7
+        )
+        algo = ZenCrowd()
+        algo.infer(answers, 2, n_ann)
+        assert algo.reliabilities[0] > algo.reliabilities[1]
+        assert algo.reliabilities[1] > algo.reliabilities[3] - 0.05
+
+    def test_posteriors_are_distributions(self):
+        answers, _t, n_ann = simulate_answers(n_objects=25)
+        result = ZenCrowd().infer(answers, 2, n_ann)
+        for post in result.posteriors.values():
+            assert post.sum() == pytest.approx(1.0)
+            assert (post >= 0).all()
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        truths = rng.integers(0, 3, size=150)
+        answers = {}
+        for i, truth in enumerate(truths):
+            votes = {}
+            for j, acc in enumerate((0.9, 0.7, 0.6)):
+                if rng.random() < acc:
+                    votes[j] = int(truth)
+                else:
+                    votes[j] = int((truth + rng.integers(1, 3)) % 3)
+            answers[i] = votes
+        result = ZenCrowd().infer(answers, 3, 3)
+        acc = np.mean([result.labels[i] == truths[i]
+                       for i in range(len(truths))])
+        # Three annotators of accuracy (0.9, 0.7, 0.6) bound what any
+        # aggregator can reach; ~0.81 is near the Bayes rate here.
+        assert acc > 0.78
+
+    def test_empty_answers(self):
+        assert ZenCrowd().infer({}, 2, 3).labels == {}
+
+    def test_convergence_reported(self):
+        answers, _t, n_ann = simulate_answers(n_objects=60)
+        result = ZenCrowd(max_iter=200).infer(answers, 2, n_ann)
+        assert result.converged
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            ZenCrowd(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            ZenCrowd(initial_reliability=1.0)
+        with pytest.raises(ConfigurationError):
+            ZenCrowd(smoothing=-1)

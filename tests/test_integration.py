@@ -1,0 +1,110 @@
+"""Integration tests: full labelling runs across the module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import CrowdRL, CrowdRLConfig, make_platform
+from repro.baselines import DLTA, OBA, Hybrid
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import make_blobs
+from repro.harness.experiment import ExperimentSetting, run_experiment
+
+
+def quick_config(**kwargs):
+    defaults = dict(alpha=0.1, batch_size=4, k_per_object=2,
+                    min_truths_for_enrichment=10,
+                    train_steps_per_iteration=2)
+    defaults.update(kwargs)
+    return CrowdRLConfig(**defaults)
+
+
+class TestCrowdRLOnPaperDatasets:
+    @pytest.mark.parametrize("name", ["S12CP", "Fashion"])
+    def test_full_run_on_scaled_paper_dataset(self, name):
+        dataset = load_dataset(name, scale=0.02 if name != "Fashion"
+                               else 0.005, rng=0)
+        platform = make_platform(dataset, n_workers=3, n_experts=2,
+                                 budget=4.0 * dataset.n_objects, rng=1)
+        outcome = CrowdRL(quick_config(), rng=2).run(dataset, platform)
+        report = outcome.evaluate(platform.evaluation_labels())
+        assert report.accuracy > 0.6
+        assert outcome.spent <= platform.budget.total + 1e-9
+
+    def test_crowdrl_beats_oba_on_noisy_workers(self):
+        """The paper's headline ordering: OBA (trusting noisy answers)
+        loses to CrowdRL on a moderately hard task."""
+        dataset = make_blobs(120, 8, separation=2.0, rng=3)
+
+        def run(framework_cls, seed, **kwargs):
+            platform = make_platform(dataset, n_workers=3, n_experts=2,
+                                     budget=500.0, rng=4)
+            framework = framework_cls(rng=np.random.default_rng(seed),
+                                      **kwargs)
+            outcome = framework.run(dataset, platform)
+            return outcome.evaluate(platform.evaluation_labels()).accuracy
+
+        crowdrl_accs = []
+        oba_accs = []
+        for seed in range(2):
+            platform = make_platform(dataset, n_workers=3, n_experts=2,
+                                     budget=500.0, rng=4)
+            outcome = CrowdRL(quick_config(), rng=seed).run(dataset, platform)
+            crowdrl_accs.append(
+                outcome.evaluate(platform.evaluation_labels()).accuracy
+            )
+            oba_accs.append(run(OBA, seed))
+        assert np.mean(crowdrl_accs) > np.mean(oba_accs)
+
+
+class TestBudgetFairness:
+    def test_identical_pools_across_frameworks(self):
+        """run_experiment must face every framework with the same pool."""
+        setting = ExperimentSetting("S12C", scale=0.02, seed=7)
+        r1 = run_experiment("DLTA", setting)
+        r2 = run_experiment("OBA", setting)
+        assert r1.report.n_evaluated == r2.report.n_evaluated
+
+    def test_no_framework_overspends(self):
+        setting = ExperimentSetting("S12C", scale=0.02, seed=8)
+        for name in ("DLTA", "OBA", "IDLE", "DALC", "Hybrid"):
+            result = run_experiment(name, setting)
+            assert result.outcome.spent <= setting.resolve_budget() + 1e-9, name
+
+
+class TestCrossTraining:
+    def test_policy_improves_or_holds_with_pretraining(self):
+        """Cross-training must at least not break the pipeline; the policy
+        weights must be carried over."""
+        dataset = make_blobs(60, 6, separation=2.5, rng=5)
+        framework = CrowdRL(quick_config(), rng=6)
+        pre = make_blobs(40, 6, separation=2.0, rng=7)
+        pre_platform = make_platform(pre, n_workers=3, n_experts=1,
+                                     budget=120.0, rng=8)
+        framework.pretrain(pre, pre_platform)
+        weights_after_pretrain = framework._pretrained_weights
+        assert weights_after_pretrain is not None
+        platform = make_platform(dataset, n_workers=3, n_experts=1,
+                                 budget=180.0, rng=9)
+        outcome = framework.run(dataset, platform)
+        assert outcome.final_labels.shape == (60,)
+
+
+class TestAnswerProvenance:
+    def test_every_charge_has_an_answer(self):
+        dataset = make_blobs(40, 5, separation=3.0, rng=10)
+        platform = make_platform(dataset, n_workers=2, n_experts=1,
+                                 budget=100.0, rng=11)
+        Hybrid(rng=np.random.default_rng(12)).run(dataset, platform)
+        assert len(platform.answer_log) == platform.budget.ledger_length
+        total = sum(r.cost for r in platform.answer_log)
+        assert total == pytest.approx(platform.budget.spent)
+
+    def test_history_matches_answer_log(self):
+        dataset = make_blobs(40, 5, separation=3.0, rng=13)
+        platform = make_platform(dataset, n_workers=2, n_experts=1,
+                                 budget=100.0, rng=14)
+        DLTA(rng=np.random.default_rng(15)).run(dataset, platform)
+        for record in platform.answer_log:
+            assert platform.history.matrix[
+                record.object_id, record.annotator_id
+            ] == record.answer

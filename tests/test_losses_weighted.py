@@ -1,0 +1,37 @@
+"""Weighted-loss behaviour shared across loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import HuberLoss, MeanSquaredError, SoftmaxCrossEntropy
+
+
+@pytest.mark.parametrize("loss,pred,target", [
+    (MeanSquaredError(), np.array([[1.0], [0.0]]), np.array([[0.0], [0.0]])),
+    (HuberLoss(), np.array([[3.0], [0.0]]), np.array([[0.0], [0.0]])),
+    (SoftmaxCrossEntropy(), np.array([[2.0, -2.0], [0.0, 0.0]]),
+     np.array([1, 0])),
+], ids=["mse", "huber", "xent"])
+class TestWeightedLosses:
+    def test_weights_normalised(self, loss, pred, target):
+        """Scaling all weights by a constant must not change the loss."""
+        w = np.array([1.0, 3.0])
+        a = loss.value(pred, target, w)
+        b = loss.value(pred, target, 10 * w)
+        assert a == pytest.approx(b)
+
+    def test_zero_weight_sample_ignored(self, loss, pred, target):
+        w = np.array([1.0, 0.0])
+        full = loss.value(pred, target, w)
+        # Identical to evaluating only the first sample.
+        solo = loss.value(pred[:1], target[:1])
+        assert full == pytest.approx(solo)
+
+    def test_grad_rows_scale_with_weights(self, loss, pred, target):
+        w = np.array([1.0, 0.0])
+        grad = loss.grad(pred, target, w)
+        np.testing.assert_allclose(grad[1], 0.0, atol=1e-12)
+
+    def test_all_zero_weights_raise(self, loss, pred, target):
+        with pytest.raises(ValueError):
+            loss.value(pred, target, np.zeros(2))

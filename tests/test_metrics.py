@@ -1,0 +1,96 @@
+"""Tests for repro.metrics.classification."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.classification import (
+    accuracy,
+    confusion_counts,
+    evaluate_labels,
+    f1_score,
+    precision,
+    recall,
+)
+
+
+Y_TRUE = np.array([1, 1, 1, 0, 0, 0, 1, 0])
+Y_PRED = np.array([1, 1, 0, 0, 0, 1, 1, 0])
+# tp=3 (class1 correct), fp=1, fn=1, tn=3
+
+
+class TestBinaryMetrics:
+    def test_precision(self):
+        assert precision(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_recall(self):
+        assert recall(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_f1(self):
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(6 / 8)
+
+    def test_perfect_scores(self):
+        y = np.array([0, 1, 0, 1])
+        assert precision(y, y) == recall(y, y) == f1_score(y, y) == 1.0
+
+    def test_zero_predicted_positives(self):
+        y_true = np.array([1, 1, 0])
+        y_pred = np.array([0, 0, 0])
+        assert precision(y_true, y_pred) == 0.0
+        assert recall(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+
+class TestConfusionCounts:
+    def test_table(self):
+        counts = confusion_counts(Y_TRUE, Y_PRED, 2)
+        np.testing.assert_array_equal(counts, [[3, 1], [1, 3]])
+
+    def test_counts_sum_to_n(self):
+        assert confusion_counts(Y_TRUE, Y_PRED, 2).sum() == Y_TRUE.size
+
+    def test_invalid_n_classes_raises(self):
+        with pytest.raises(ConfigurationError):
+            confusion_counts(Y_TRUE, Y_PRED, 1)
+
+
+class TestMacroMetrics:
+    def test_macro_precision_multiclass(self):
+        y_true = np.array([0, 1, 2, 0, 1, 2])
+        y_pred = np.array([0, 1, 2, 1, 1, 0])
+        # per-class precision: c0: 1/1... compute: pred0={0,5}: correct {0} -> 1/2
+        # pred1={1,3,4}: correct {1,4} -> 2/3; pred2={2}: correct -> 1
+        expected = (0.5 + 2 / 3 + 1.0) / 3
+        assert precision(y_true, y_pred, n_classes=3, average="macro") == (
+            pytest.approx(expected)
+        )
+
+    def test_invalid_average_raises(self):
+        with pytest.raises(ConfigurationError):
+            precision(Y_TRUE, Y_PRED, average="micro")
+
+
+class TestEvaluateLabels:
+    def test_report_fields(self):
+        report = evaluate_labels(Y_TRUE, Y_PRED)
+        assert report.precision == pytest.approx(0.75)
+        assert report.recall == pytest.approx(0.75)
+        assert report.f1 == pytest.approx(0.75)
+        assert report.accuracy == pytest.approx(0.75)
+        assert report.n_evaluated == 8
+
+    def test_multiclass_uses_macro(self):
+        y = np.array([0, 1, 2])
+        report = evaluate_labels(y, y, n_classes=3)
+        assert report.precision == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_labels(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_labels(np.array([0, 1]), np.array([0]))

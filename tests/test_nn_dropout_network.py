@@ -1,0 +1,85 @@
+"""Integration tests: dropout inside networks, training-loop edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import Network
+from repro.nn.optimizers import Adam
+from repro.nn.train import train_network
+
+
+def dropout_net(rate=0.3):
+    rng = np.random.default_rng(0)
+    return Network([
+        Dense(4, 16, rng=rng),
+        ReLU(),
+        Dropout(rate, rng=rng),
+        Dense(16, 1, rng=rng),
+    ])
+
+
+class TestDropoutInNetwork:
+    def test_inference_deterministic(self):
+        net = dropout_net()
+        x = np.ones((3, 4))
+        np.testing.assert_array_equal(
+            net.forward(x, training=False), net.forward(x, training=False)
+        )
+
+    def test_training_forward_stochastic(self):
+        net = dropout_net(rate=0.5)
+        x = np.ones((8, 4))
+        a = net.forward(x, training=True)
+        b = net.forward(x, training=True)
+        assert not np.allclose(a, b)
+
+    def test_trains_through_dropout(self):
+        net = dropout_net(rate=0.2)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(64, 4))
+        y = x[:, :1] * 2.0
+        result = train_network(net, x, y, MeanSquaredError(), Adam(0.01),
+                               epochs=60, rng=0)
+        assert result.final_loss < result.loss_history[0]
+
+
+class TestTrainLoopEdges:
+    def test_no_shuffle_is_deterministic(self):
+        def run():
+            net = Network.mlp(3, [4], 1, rng=0)
+            x = np.arange(12, dtype=float).reshape(4, 3)
+            y = np.ones((4, 1))
+            train_network(net, x, y, MeanSquaredError(), Adam(0.01),
+                          epochs=3, shuffle=False)
+            return net.forward(x)
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_batch_larger_than_data(self):
+        net = Network.mlp(2, [4], 1, rng=0)
+        x = np.ones((3, 2))
+        y = np.zeros((3, 1))
+        result = train_network(net, x, y, MeanSquaredError(), Adam(0.01),
+                               epochs=2, batch_size=100, rng=0)
+        assert result.epochs_run == 2
+
+    def test_invalid_epochs_and_batch(self):
+        from repro.exceptions import ConfigurationError
+
+        net = Network.mlp(2, [4], 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            train_network(net, np.ones((2, 2)), np.ones((2, 1)),
+                          MeanSquaredError(), Adam(0.01), epochs=0)
+        with pytest.raises(ConfigurationError):
+            train_network(net, np.ones((2, 2)), np.ones((2, 1)),
+                          MeanSquaredError(), Adam(0.01), batch_size=0)
+
+    def test_1d_x_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        net = Network.mlp(2, [4], 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            train_network(net, np.ones(4), np.ones((4, 1)),
+                          MeanSquaredError(), Adam(0.01))

@@ -1,0 +1,74 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optimizers import SGD, Adam, RMSProp
+
+
+def quadratic_descend(optimizer, steps=200, start=5.0):
+    """Minimise f(x) = x^2 with the given optimizer; return final |x|."""
+    x = np.array([start])
+    for _ in range(steps):
+        grad = 2 * x
+        optimizer.step([(x, grad)])
+    return abs(float(x[0]))
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        assert quadratic_descend(SGD(learning_rate=0.1)) < 1e-3
+
+    def test_momentum_descends(self):
+        assert quadratic_descend(SGD(learning_rate=0.05, momentum=0.9)) < 1e-2
+
+    def test_single_step_direction(self):
+        x = np.array([1.0])
+        SGD(learning_rate=0.5).step([(x, np.array([2.0]))])
+        assert x[0] == pytest.approx(0.0)
+
+    def test_weight_decay_shrinks(self):
+        x = np.array([1.0])
+        SGD(learning_rate=0.1, weight_decay=1.0).step([(x, np.array([0.0]))])
+        assert x[0] == pytest.approx(0.9)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0)
+
+    def test_separate_velocity_per_param(self):
+        a, b = np.array([1.0]), np.array([1.0])
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        opt.step([(a, np.array([1.0])), (b, np.array([-1.0]))])
+        assert a[0] < 1.0 < b[0]
+
+
+class TestRMSProp:
+    def test_descends_quadratic(self):
+        assert quadratic_descend(RMSProp(learning_rate=0.05), steps=500) < 0.05
+
+    def test_invalid_decay_raises(self):
+        with pytest.raises(ConfigurationError):
+            RMSProp(decay=1.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        assert quadratic_descend(Adam(learning_rate=0.1), steps=500) < 1e-3
+
+    def test_first_step_magnitude_near_lr(self):
+        # With bias correction, Adam's first step is ~learning_rate.
+        x = np.array([1.0])
+        Adam(learning_rate=0.1).step([(x, np.array([0.5]))])
+        assert x[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(beta2=-0.1)

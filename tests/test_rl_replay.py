@@ -1,0 +1,101 @@
+"""Tests for repro.rl.replay."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, Transition
+
+
+def make_transition(value=0.0, reward=1.0, terminal=False):
+    return Transition(np.array([value]), reward,
+                      None if terminal else np.array([[value + 1]]), terminal)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(10, rng=0)
+        buf.push(make_transition())
+        assert len(buf) == 1
+
+    def test_capacity_ring(self):
+        buf = ReplayBuffer(3, rng=0)
+        for i in range(5):
+            buf.push(make_transition(float(i)))
+        assert len(buf) == 3
+        values = sorted(t.features[0] for t in buf._storage)
+        assert values == [2.0, 3.0, 4.0]
+
+    def test_sample_size(self):
+        buf = ReplayBuffer(10, rng=0)
+        for i in range(4):
+            buf.push(make_transition(float(i)))
+        assert len(buf.sample(8)) == 8  # sampling with replacement
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(5, rng=0).sample(1)
+
+    def test_sample_nonpositive_raises(self):
+        buf = ReplayBuffer(5, rng=0)
+        buf.push(make_transition())
+        with pytest.raises(ConfigurationError):
+            buf.sample(0)
+
+    def test_clear(self):
+        buf = ReplayBuffer(5, rng=0)
+        buf.push(make_transition())
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(0)
+
+    def test_sampling_deterministic_with_seed(self):
+        def collect(seed):
+            buf = ReplayBuffer(10, rng=seed)
+            for i in range(10):
+                buf.push(make_transition(float(i)))
+            return [t.features[0] for t in buf.sample(5)]
+
+        assert collect(7) == collect(7)
+
+
+class TestPrioritizedReplayBuffer:
+    def test_new_transitions_sampleable(self):
+        buf = PrioritizedReplayBuffer(10, rng=0)
+        buf.push(make_transition(1.0))
+        assert buf.sample(3)[0].features[0] == 1.0
+
+    def test_high_priority_sampled_more(self):
+        buf = PrioritizedReplayBuffer(10, alpha=1.0, rng=0)
+        for i in range(2):
+            buf.push(make_transition(float(i)))
+        buf.sample(2)
+        # Give transition 0 overwhelming priority.
+        buf._last_sampled = np.array([0, 1])
+        buf.update_priorities(np.array([100.0, 0.0]))
+        counts = {0.0: 0, 1.0: 0}
+        for t in buf.sample(200):
+            counts[float(t.features[0])] += 1
+        assert counts[0.0] > counts[1.0] * 3
+
+    def test_update_priorities_shape_checked(self):
+        buf = PrioritizedReplayBuffer(10, rng=0)
+        buf.push(make_transition())
+        buf.sample(2)
+        with pytest.raises(ConfigurationError):
+            buf.update_priorities(np.array([1.0, 2.0, 3.0]))
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            PrioritizedReplayBuffer(10, alpha=1.5)
+
+    def test_ring_overwrite_updates_priority_slot(self):
+        buf = PrioritizedReplayBuffer(2, rng=0)
+        for i in range(3):
+            buf.push(make_transition(float(i)))
+        assert len(buf) == 2
+        # All priorities remain positive/valid for sampling.
+        assert (buf._priorities[:2] > 0).all()

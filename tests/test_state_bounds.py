@@ -1,0 +1,55 @@
+"""Feature-scale sanity for the State featurization.
+
+The Q-network's inputs should stay in a bounded, comparable range across
+the run — unbounded features would let one coordinate dominate training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.state import N_PAIR_FEATURES, LabellingState
+from repro.crowd.cost import BudgetManager
+from repro.crowd.history import LabellingHistory
+
+from conftest import build_pool
+
+
+def make_state(n_objects=10):
+    history = LabellingHistory(n_objects, 4, 2)
+    return LabellingState(history, build_pool(), BudgetManager(100.0))
+
+
+class TestFeatureBounds:
+    def test_fresh_state_features_bounded(self):
+        state = make_state()
+        tensor = state.feature_tensor()
+        assert tensor.min() >= 0.0
+        assert tensor.max() <= 1.0 + 1e-9
+
+    def test_features_stay_bounded_as_run_progresses(self):
+        state = make_state()
+        rng = np.random.default_rng(0)
+        for i in range(10):
+            for j in range(3):
+                state.history.record(i, j, int(rng.integers(2)))
+        state.budget.charge(60.0)
+        state.set_labelled(human=range(5), enriched=[5, 6])
+        proba = rng.dirichlet(np.ones(2), size=10)
+        state.set_classifier_proba(proba)
+        tensor = state.feature_tensor()
+        assert tensor.min() >= 0.0
+        assert tensor.max() <= 1.0 + 1e-9
+
+    def test_feature_width_constant(self):
+        assert make_state(3).feature_tensor().shape[-1] == N_PAIR_FEATURES
+        assert make_state(30).feature_tensor().shape[-1] == N_PAIR_FEATURES
+
+    def test_answer_count_saturates_at_one(self):
+        state = LabellingState(
+            LabellingHistory(2, 4, 2), build_pool(), BudgetManager(100.0),
+            answer_norm=2,
+        )
+        for j in range(4):
+            state.history.record(0, j, 0)
+        # 4 answers with norm 2 saturates, it must not exceed 1.
+        assert state.object_features()[0, 0] == 1.0
