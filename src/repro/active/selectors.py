@@ -38,6 +38,7 @@ class RandomSelector(TaskSelector):
         self._rng = as_rng(rng)
 
     def select(self, candidates, batch_size, proba=None) -> list[int]:
+        """Choose ``batch_size`` candidates uniformly at random."""
         pool = self._check(candidates, batch_size)
         if not pool:
             return []
@@ -53,6 +54,7 @@ class UncertaintySelector(TaskSelector):
         self.measure = measure
 
     def select(self, candidates, batch_size, proba=None) -> list[int]:
+        """Choose the candidates whose ``proba`` rows score most uncertain."""
         pool = self._check(candidates, batch_size)
         if not pool:
             return []

@@ -1,0 +1,36 @@
+"""Static analysis and runtime contracts for the CrowdRL reproduction.
+
+Two halves, both reachable through ``python -m repro.analysis``:
+
+* :mod:`repro.analysis.lint` — a stdlib-``ast`` rule engine with
+  project-specific rules (REPRO001..REPRO006) guarding the invariants the
+  Python type system cannot see: seeded randomness, validated inputs,
+  no in-place mutation of shared run state, no swallowed exceptions.
+* :mod:`repro.analysis.contracts` — toggleable runtime decorators
+  (``@shaped``, ``@row_stochastic``, ``@prob_simplex``) asserting the
+  paper's array invariants (Eqs. 7-8 row-stochasticity, the ``|O| x |W|``
+  answer-matrix orientation) on the joint-inference and DQN hot paths.
+  Set ``REPRO_CONTRACTS=0`` to compile them all to no-ops.
+"""
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    contract_registry,
+    contracts_active,
+    prob_simplex,
+    row_stochastic,
+    shaped,
+)
+from repro.analysis.lint.engine import Finding, LintRule, lint_paths
+
+__all__ = [
+    "ContractViolation",
+    "contract_registry",
+    "contracts_active",
+    "prob_simplex",
+    "row_stochastic",
+    "shaped",
+    "Finding",
+    "LintRule",
+    "lint_paths",
+]

@@ -1,0 +1,125 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Subcommands::
+
+    python -m repro.analysis lint src            # exit 1 on any finding
+    python -m repro.analysis lint src --format json
+    python -m repro.analysis lint src --select REPRO001,REPRO005
+    python -m repro.analysis contracts-report --format json
+
+``lint`` prints ``path:line:col: RULE message`` lines (or a JSON document)
+and exits non-zero when findings survive suppression, so it slots
+directly into CI.  ``contracts-report`` imports the modules that carry
+runtime contracts and lists every decorator application with its
+active/inactive status under the current ``REPRO_CONTRACTS`` setting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.contracts import contract_registry, contracts_active
+from repro.analysis.lint.engine import Finding, all_rules, lint_paths
+from repro.exceptions import ReproError
+
+#: Modules importing these registers the library's contract decorations.
+_CONTRACT_MODULES = (
+    "repro.inference.joint",
+    "repro.rl.qnetwork",
+    "repro.rl.dqn",
+    "repro.rl.selection",
+    "repro.core.agent",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static lint rules and runtime-contract reporting "
+                    "for the CrowdRL reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the REPRO lint rules")
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids (default: all rules)")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append a per-rule finding count summary")
+
+    report = sub.add_parser("contracts-report",
+                            help="list runtime contract decorations")
+    report.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+def _render_lint_text(findings: List[Finding], statistics: bool) -> str:
+    lines = [finding.format() for finding in findings]
+    if statistics and findings:
+        lines.append("")
+        by_rule: dict = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        for rule_id in sorted(by_rule):
+            lines.append(f"{rule_id}: {by_rule[rule_id]}")
+    n_files = len({finding.path for finding in findings})
+    lines.append(
+        f"{len(findings)} finding(s) in {n_files} file(s)"
+        if findings else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    select = args.select.split(",") if args.select else None
+    findings = lint_paths(args.paths, rules=all_rules(select))
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_render_lint_text(findings, args.statistics))
+    return 1 if findings else 0
+
+
+def _run_contracts_report(args: argparse.Namespace) -> int:
+    for module in _CONTRACT_MODULES:
+        importlib.import_module(module)
+    records = contract_registry()
+    if args.format == "json":
+        payload = {
+            "contracts_active": contracts_active(),
+            "contracts": [record.to_dict() for record in records],
+            "count": len(records),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    state = "active" if contracts_active() else "inactive (REPRO_CONTRACTS=0)"
+    print(f"runtime contracts: {state}")
+    width = max((len(f"{r.module}.{r.qualname}") for r in records), default=0)
+    for record in records:
+        name = f"{record.module}.{record.qualname}"
+        flag = "on " if record.active else "off"
+        print(f"  [{flag}] {name:<{width}}  {record.kind}({record.detail})")
+    print(f"{len(records)} contract(s) registered")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "lint":
+            return _run_lint(args)
+        return _run_contracts_report(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

@@ -1,0 +1,23 @@
+"""Project lint engine: an ``ast``-based rule framework plus REPRO rules."""
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintContext,
+    LintRule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,244 @@
+"""Rule framework for the project linter.
+
+A :class:`LintRule` inspects one parsed module (:class:`LintContext`) and
+yields :class:`Finding` records.  The engine owns everything rule-agnostic:
+discovering ``*.py`` files, parsing, dispatching rules, and honouring
+per-line suppression comments of the form::
+
+    risky_call()  # repro: noqa REPRO001
+    another()     # repro: noqa            (suppresses every rule)
+
+Rules register themselves via :func:`register_rule` when their module is
+imported; :func:`all_rules` imports :mod:`repro.analysis.lint.rules` so
+callers always see the full REPRO rule set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.exceptions import ConfigurationError
+
+#: Severity levels, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>(?:[ \t,]+REPRO\d+)*)", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured lint finding, sortable into report order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: ID message`` line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (the ``--format json`` payload)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def parts(self) -> tuple:
+        """Path components, used by rules scoped to sub-packages."""
+        return Path(self.path).parts
+
+    def in_package(self, *names: str) -> bool:
+        """Whether the module lives under any directory named in ``names``."""
+        return any(name in self.parts[:-1] for name in names)
+
+    def is_module(self, *tail: str) -> bool:
+        """Whether the path ends with the given components (e.g. core/state.py)."""
+        return self.parts[-len(tail):] == tuple(tail)
+
+
+class LintRule:
+    """Base class for REPRO rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity` and
+    :attr:`description`, and implement :meth:`check` as a generator of
+    :class:`Finding` records.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one module; the base class yields nothing."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchoring a finding to an AST node."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"{cls.__name__} does not define a rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ConfigurationError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
+    """Instantiate the registered rules, optionally restricted to ``select``."""
+    # Importing the rules package triggers registration of the REPRO rules.
+    import repro.analysis.lint.rules  # noqa: F401  (import for side effect)
+
+    if select is None:
+        chosen = sorted(_REGISTRY)
+    else:
+        chosen = []
+        for rule_id in select:
+            rule_id = rule_id.strip().upper()
+            if rule_id not in _REGISTRY:
+                raise ConfigurationError(
+                    f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+                )
+            chosen.append(rule_id)
+    return [_REGISTRY[rule_id]() for rule_id in chosen]
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+def suppressed_rules(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to suppressed rule ids.
+
+    A value of ``None`` suppresses every rule on that line; a set
+    suppresses only the listed ids.
+    """
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = {
+            code.upper()
+            for code in re.findall(r"REPRO\d+", match.group("codes") or "",
+                                   re.IGNORECASE)
+        }
+        suppressions[lineno] = codes or None
+    return suppressions
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    codes = suppressions.get(finding.line, False)
+    if codes is False:
+        return False
+    return codes is None or finding.rule_id in codes
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            yield path
+
+
+def lint_source(source: str, path: str,
+                rules: Sequence[LintRule]) -> List[Finding]:
+    """Lint already-loaded source text (the unit the tests exercise)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            Finding(
+                path=path,
+                line=err.lineno or 1,
+                col=(err.offset or 0) + 1,
+                rule_id="REPRO000",
+                message=f"syntax error: {err.msg}",
+                severity="error",
+            )
+        ]
+    ctx = LintContext(path=path, tree=tree, source=source)
+    suppressions = suppressed_rules(ctx.lines)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(ctx)
+        if not _is_suppressed(finding, suppressions)
+    ]
+    return sorted(findings)
+
+
+def lint_file(path: Path, rules: Sequence[LintRule]) -> List[Finding]:
+    """Lint one file from disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules)
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[LintRule]] = None) -> List[Finding]:
+    """Lint every ``*.py`` file under ``paths`` with ``rules`` (default: all)."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)

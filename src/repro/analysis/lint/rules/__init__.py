@@ -1,0 +1,27 @@
+"""The REPRO rule set.
+
+Importing this package registers every rule with the engine registry:
+
+* REPRO001 — no global ``np.random.*`` calls (thread a seeded Generator)
+* REPRO002 — no mutable default arguments
+* REPRO003 — public inference/rl/core functions must validate array inputs
+* REPRO004 — no bare ``except:`` / silently swallowed exceptions
+* REPRO005 — no in-place mutation of ``state``/``history``/``answers`` args
+* REPRO006 — docstrings on the public API
+"""
+
+from repro.analysis.lint.rules.seeded_rng import GlobalNumpyRandomRule
+from repro.analysis.lint.rules.mutable_defaults import MutableDefaultRule
+from repro.analysis.lint.rules.validated_inputs import ValidatedInputsRule
+from repro.analysis.lint.rules.exception_hygiene import ExceptionHygieneRule
+from repro.analysis.lint.rules.state_mutation import StateMutationRule
+from repro.analysis.lint.rules.docstrings import PublicDocstringRule
+
+__all__ = [
+    "GlobalNumpyRandomRule",
+    "MutableDefaultRule",
+    "ValidatedInputsRule",
+    "ExceptionHygieneRule",
+    "StateMutationRule",
+    "PublicDocstringRule",
+]

@@ -1,0 +1,50 @@
+"""REPRO004: no bare ``except:`` and no silently swallowed exceptions.
+
+Swallowing an exception in an EM loop or an experiment harness converts a
+crash into a silently wrong number — the worst failure mode for a
+reproduction whose outputs are compared against published figures.
+Handlers must name the exception class and must *do* something (handle,
+log, or re-raise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import Finding, LintContext, LintRule, register_rule
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # bare string/Ellipsis expression
+    return False
+
+
+@register_rule
+class ExceptionHygieneRule(LintRule):
+    """Flag bare ``except:`` clauses and handlers whose body is a no-op."""
+
+    rule_id = "REPRO004"
+    severity = "error"
+    description = "no bare 'except:' or silently swallowed exceptions"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception class",
+                )
+                continue
+            if all(_is_noop(stmt) for stmt in node.body):
+                yield self.finding(
+                    ctx, node,
+                    "exception caught and silently swallowed; handle, log, "
+                    "or re-raise it",
+                )

@@ -59,6 +59,7 @@ class DALC(LabellingFramework):
 
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run DALC's decoupled select/assign loop within ``budget``."""
         n = platform.n_objects
         initial_random_sample(platform, self.alpha, self.k_per_object, self._rng)
 

@@ -55,6 +55,7 @@ class DLTA(LabellingFramework):
 
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run DLTA's decoupled select/assign loop within ``budget``."""
         n = platform.n_objects
         em = DawidSkene()
         initial_random_sample(platform, self.alpha, self.k_per_object, self._rng)

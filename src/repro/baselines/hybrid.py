@@ -93,6 +93,7 @@ class Hybrid(LabellingFramework):
     # ------------------------------------------------------------------
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run the hybrid TA+TI loop within ``budget``."""
         n = platform.n_objects
         pm = PMInference()
         ta_agent = DQNAgent(

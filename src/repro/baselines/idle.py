@@ -54,6 +54,7 @@ class IDLE(LabellingFramework):
 
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run IDLE's influence-driven loop within ``budget``."""
         n = platform.n_objects
         worker_ids = [a.annotator_id for a in platform.pool if not a.is_expert]
         expert_ids = [a.annotator_id for a in platform.pool if a.is_expert]

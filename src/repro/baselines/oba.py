@@ -53,6 +53,7 @@ class OBA(LabellingFramework):
 
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run OBA's online assignment loop within ``budget``."""
         n = platform.n_objects
         workers = [a.annotator_id for a in platform.pool if not a.is_expert]
         # OBA's model has homogeneous "human workers"; fall back to the whole

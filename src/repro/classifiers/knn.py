@@ -30,6 +30,7 @@ class KNNClassifier(Classifier):
         self._soft: Optional[np.ndarray] = None
 
     def fit_soft(self, x, soft_labels, sample_weights=None) -> "KNNClassifier":
+        """Memorise ``x`` with its soft labels for neighbour voting."""
         x, soft = self._check_xy(x, soft_labels)
         if sample_weights is not None:
             w = np.asarray(sample_weights, dtype=float)
@@ -47,6 +48,7 @@ class KNNClassifier(Classifier):
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Average the soft labels of the ``k`` nearest training rows."""
         self._check_fitted()
         assert self._x is not None and self._soft is not None
         x = np.asarray(x, dtype=float)

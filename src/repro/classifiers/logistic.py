@@ -52,6 +52,7 @@ class LogisticRegressionClassifier(Classifier):
     def fit_soft(self, x, soft_labels,
                  sample_weights: Optional[np.ndarray] = None
                  ) -> "LogisticRegressionClassifier":
+        """Fit multinomial logistic weights to soft labels by gradient descent."""
         x, soft = self._check_xy(x, soft_labels)
         n = x.shape[0]
         if sample_weights is None:
@@ -82,6 +83,7 @@ class LogisticRegressionClassifier(Classifier):
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities for each row of ``x``."""
         self._check_fitted()
         x = np.asarray(x, dtype=float)
         return self._softmax(x @ self.weight + self.bias)

@@ -73,6 +73,7 @@ class MLPClassifier(Classifier):
         )
 
     def fit_soft(self, x, soft_labels, sample_weights=None) -> "MLPClassifier":
+        """Train the MLP on soft labels with cross-entropy loss."""
         x, soft = self._check_xy(x, soft_labels)
         if self._network is None or not self.warm_start:
             self._network = self._build()
@@ -92,6 +93,7 @@ class MLPClassifier(Classifier):
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Forward-pass softmax probabilities for each row of ``x``."""
         self._check_fitted()
         assert self._network is not None
         logits = self._network.forward(np.asarray(x, dtype=float))

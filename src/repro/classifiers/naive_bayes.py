@@ -39,6 +39,7 @@ class NaiveBayesClassifier(Classifier):
     def fit_soft(self, x, soft_labels,
                  sample_weights: Optional[np.ndarray] = None
                  ) -> "NaiveBayesClassifier":
+        """Accumulate soft-weighted Gaussian class statistics from ``x``."""
         x, soft = self._check_xy(x, soft_labels)
         n = x.shape[0]
         if sample_weights is not None:
@@ -59,6 +60,7 @@ class NaiveBayesClassifier(Classifier):
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Posterior class probabilities under the Gaussian NB model."""
         self._check_fitted()
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.n_features:

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.core.action import Assignment
 from repro.core.config import CrowdRLConfig
 from repro.core.state import N_PAIR_FEATURES, LabellingState
@@ -57,6 +58,7 @@ class Agent:
     # ------------------------------------------------------------------
     # Acting
     # ------------------------------------------------------------------
+    @shaped(result="(n_objects, n_annotators)")
     def q_matrix(self, state: LabellingState) -> np.ndarray:
         """Masked Q-values for every pair, shape ``(|O|, |W|)``.
 
@@ -197,6 +199,11 @@ class Agent:
         ``config.next_state_sample`` rows for tractable bootstrap maxima.
         """
         taken = np.atleast_2d(np.asarray(taken_features, dtype=float))
+        if taken.ndim != 2 or taken.shape[1] != N_PAIR_FEATURES:
+            raise ConfigurationError(
+                f"taken_features must have {N_PAIR_FEATURES} columns, got "
+                f"shape {np.asarray(taken_features).shape}"
+            )
         rewards = np.broadcast_to(
             np.asarray(rewards, dtype=float).ravel(), (taken.shape[0],)
         )

@@ -129,6 +129,7 @@ class CrowdRL(LabellingFramework):
     # ------------------------------------------------------------------
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
+        """Run Algorithm 1: iterate select/ask/infer/enrich within budget."""
         config = self.config
         n_objects = platform.n_objects
         if dataset.n_objects != n_objects:

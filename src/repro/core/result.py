@@ -63,4 +63,10 @@ class LabellingOutcome:
     def evaluate(self, true_labels: np.ndarray, *,
                  n_classes: int = 2) -> ClassificationReport:
         """Score the final labels against ground truth (harness-side only)."""
+        true_labels = np.asarray(true_labels, dtype=int)
+        if true_labels.shape != self.final_labels.shape:
+            raise ConfigurationError(
+                f"true_labels must have shape {self.final_labels.shape}, got "
+                f"{true_labels.shape}"
+            )
         return evaluate_labels(true_labels, self.final_labels, n_classes=n_classes)

@@ -92,6 +92,7 @@ class LabellingState:
         return self._human_labelled | self._enriched
 
     def unlabelled_objects(self) -> np.ndarray:
+        """Ids of objects not yet labelled by humans or enrichment."""
         labelled = self.labelled_objects
         return np.array(
             [i for i in range(self.history.n_objects) if i not in labelled],

@@ -52,6 +52,7 @@ class LabellingHistory:
     # Queries
     # ------------------------------------------------------------------
     def has_answered(self, object_id: int, annotator_id: int) -> bool:
+        """Whether ``annotator_id`` has already answered ``object_id``."""
         self._check_ids(object_id, annotator_id)
         return self.matrix[object_id, annotator_id] != UNANSWERED
 
@@ -70,6 +71,7 @@ class LabellingHistory:
         return counts
 
     def n_answers(self, object_id: int) -> int:
+        """How many annotators have answered ``object_id``."""
         self._check_ids(object_id, 0)
         return int((self.matrix[object_id] != UNANSWERED).sum())
 
@@ -98,6 +100,7 @@ class LabellingHistory:
         return counts
 
     def copy(self) -> "LabellingHistory":
+        """Deep copy (used to snapshot state between RL iterations)."""
         clone = LabellingHistory(self.n_objects, self.n_annotators, self.n_classes)
         clone.matrix = self.matrix.copy()
         return clone

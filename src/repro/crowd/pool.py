@@ -135,6 +135,7 @@ class AnnotatorPool:
                 )
 
     def set_estimate(self, annotator_id: int, estimate: ConfusionMatrix) -> None:
+        """Override one annotator's estimated confusion matrix."""
         if estimate.n_classes != self.n_classes:
             raise ConfigurationError(
                 f"estimate has {estimate.n_classes} classes, pool expects "

@@ -5,10 +5,13 @@ Usage::
     python -m repro.harness.cli fig4 --scale 0.05 --seeds 2
     python -m repro.harness.cli fig8 --scale 0.1
     python -m repro.harness.cli run --framework CrowdRL --dataset S12CP
+    python -m repro.harness.cli lint src
 
 The figure subcommands print the same rows/series the paper plots (see
 :mod:`repro.harness.figures`); ``run`` executes a single framework on a
-single dataset and prints its metric report.
+single dataset and prints its metric report; ``lint`` forwards its
+arguments to :mod:`repro.analysis` so the reproducibility linter is
+reachable from the harness entry point.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ _FIGURES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the harness parser (figure, ``run`` and ``lint`` subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate the CrowdRL paper's evaluation figures.",
@@ -49,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="seeds to average per configuration")
         fig_parser.add_argument("--seed", type=int, default=0,
                                 help="base random seed")
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the repro static-analysis linter (repro.analysis)"
+    )
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER,
+                             help="arguments forwarded to repro.analysis lint")
 
     run_parser = sub.add_parser("run", help="run one framework once")
     run_parser.add_argument("--framework", required=True,
@@ -65,7 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch the parsed subcommand and return a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(["lint", *(args.lint_args or ["src"])])
 
     if args.command in _FIGURES:
         panels = _FIGURES[args.command](

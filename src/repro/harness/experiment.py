@@ -56,6 +56,7 @@ class ExperimentSetting:
     seed: int = 0
 
     def resolve_budget(self) -> float:
+        """The run budget: explicit override or the paper's per-dataset value."""
         if self.budget is not None:
             return self.budget
         return paper_budget(self.dataset_name, self.scale) * self.subsample

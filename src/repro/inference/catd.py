@@ -46,6 +46,7 @@ class CATDInference(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run CATD's confidence-aware iterative weighting over ``answers``."""
         self._validate(answers, n_classes, n_annotators)
         object_ids = sorted(answers)
         if not object_ids:

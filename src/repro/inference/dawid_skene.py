@@ -50,6 +50,7 @@ class DawidSkene(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run Dawid-Skene EM over ``answers``."""
         self._validate(answers, n_classes, n_annotators)
         object_ids = sorted(answers)
         if not object_ids:

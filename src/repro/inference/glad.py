@@ -46,6 +46,7 @@ class GladInference(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run GLAD's ability/difficulty EM over ``answers``."""
         self._validate(answers, n_classes, n_annotators)
         object_ids = sorted(answers)
         if not object_ids:

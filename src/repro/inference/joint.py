@@ -23,10 +23,47 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import prob_simplex, row_stochastic, shaped
 from repro.classifiers.base import Classifier
 from repro.crowd.confusion import ConfusionMatrix
 from repro.exceptions import ConfigurationError
 from repro.inference.base import AnswerMap, InferenceResult, TruthInference
+
+
+@shaped(counts="(n_annotators, n_classes, n_classes)")
+@row_stochastic(result=True)
+def _m_step_confusions(counts: np.ndarray) -> np.ndarray:
+    """M-step confusion update: normalise soft counts row-wise (Eq. 7).
+
+    ``counts[j, c, l]`` is the smoothed soft count of annotator ``j``
+    answering ``l`` on objects of (posterior) class ``c``; the result is
+    the stack of row-stochastic confusion matrices ``Pi^j``.
+    """
+    return counts / counts.sum(axis=-1, keepdims=True)
+
+
+@shaped(clf_log="(n_objects, n_classes)", result="(n_objects, n_classes)")
+@prob_simplex(result=True)
+def _e_step_posteriors(
+    answers: AnswerMap,
+    object_ids: list,
+    prior: np.ndarray,
+    clf_log: np.ndarray,
+    confusions: np.ndarray,
+) -> np.ndarray:
+    """E-step posterior ``q(y_i = c)`` for every object (Eq. 8).
+
+    Combines the (possibly learned) class prior, the classifier's
+    log-probabilities and each answering annotator's confusion column in
+    log space, then normalises per object onto the probability simplex.
+    """
+    log_post = np.log(prior + 1e-12)[None, :] + clf_log
+    for row, oid in enumerate(object_ids):
+        for annotator_id, answer in answers[oid].items():
+            log_post[row] += np.log(confusions[annotator_id][:, answer] + 1e-12)
+    log_post -= log_post.max(axis=1, keepdims=True)
+    post = np.exp(log_post)
+    return post / post.sum(axis=1, keepdims=True)
 
 
 class JointInference(TruthInference):
@@ -119,6 +156,7 @@ class JointInference(TruthInference):
     # ------------------------------------------------------------------
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run the joint EM of Section V over ``answers`` (Eqs. 7-8)."""
         self._validate(answers, n_classes, n_annotators)
         if self.expert_mask is not None and self.expert_mask.size != n_annotators:
             raise ConfigurationError(
@@ -138,17 +176,15 @@ class JointInference(TruthInference):
         x = self.features[object_ids]
 
         # ---- Initialise q(y) with majority voting ----
-        posteriors: dict[int, np.ndarray] = {}
-        for oid in object_ids:
-            counts = np.zeros(n_classes)
+        post = np.zeros((len(object_ids), n_classes))
+        for row, oid in enumerate(object_ids):
             for answer in answers[oid].values():
-                counts[answer] += 1
-            posteriors[oid] = counts / counts.sum()
+                post[row, answer] += 1
+        post /= post.sum(axis=1, keepdims=True)
 
-        confusions = [
-            np.full((n_classes, n_classes), 1.0 / n_classes)
-            for _ in range(n_annotators)
-        ]
+        confusions = np.full(
+            (n_annotators, n_classes, n_classes), 1.0 / n_classes
+        )
         prior = np.full(n_classes, 1.0 / n_classes)
         clf_log = np.zeros((len(object_ids), n_classes))  # classifier term
 
@@ -157,17 +193,15 @@ class JointInference(TruthInference):
         for iteration in range(1, self.max_iter + 1):
             # ---- M-step ----
             # (a) Annotator confusion matrices from soft counts.
-            counts = [
-                np.full((n_classes, n_classes), self.smoothing)
-                for _ in range(n_annotators)
-            ]
+            counts = np.full(
+                (n_annotators, n_classes, n_classes), self.smoothing
+            )
             prior_mass = np.full(n_classes, self.smoothing)
-            for oid in object_ids:
-                post = posteriors[oid]
-                prior_mass += post
+            for row, oid in enumerate(object_ids):
+                prior_mass += post[row]
                 for annotator_id, answer in answers[oid].items():
-                    counts[annotator_id][:, answer] += post
-            confusions = [c / c.sum(axis=1, keepdims=True) for c in counts]
+                    counts[annotator_id, :, answer] += post[row]
+            confusions = _m_step_confusions(counts)
             if self.learn_prior:
                 prior = prior_mass / prior_mass.sum()
 
@@ -182,8 +216,7 @@ class JointInference(TruthInference):
 
             # (c) Retrain the classifier on the soft posteriors.
             if self.classifier_weight > 0 and iteration % self.refit_every == 0:
-                soft = np.vstack([posteriors[oid] for oid in object_ids])
-                self.classifier.fit_soft(x, soft)
+                self.classifier.fit_soft(x, post.copy())
                 self.fitted_classifier = self.classifier
                 proba = np.clip(
                     self.classifier.predict_proba(x),
@@ -193,23 +226,17 @@ class JointInference(TruthInference):
                 clf_log = self.classifier_weight * np.log(proba)
 
             # ---- E-step ----
-            max_delta = 0.0
-            for row, oid in enumerate(object_ids):
-                log_post = np.log(prior + 1e-12) + clf_log[row]
-                for annotator_id, answer in answers[oid].items():
-                    log_post += np.log(confusions[annotator_id][:, answer] + 1e-12)
-                log_post -= log_post.max()
-                post = np.exp(log_post)
-                post /= post.sum()
-                max_delta = max(
-                    max_delta, float(np.abs(post - posteriors[oid]).max())
-                )
-                posteriors[oid] = post
+            new_post = _e_step_posteriors(
+                answers, object_ids, prior, clf_log, confusions
+            )
+            max_delta = float(np.abs(new_post - post).max())
+            post = new_post
 
             if max_delta < self.tol:
                 converged = True
                 break
 
+        posteriors = {oid: post[row] for row, oid in enumerate(object_ids)}
         seen = {
             j for oid in object_ids for j in answers[oid]
         }

@@ -30,6 +30,7 @@ class MajorityVote(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Aggregate by unweighted majority vote."""
         self._validate(answers, n_classes, n_annotators)
         posteriors: dict[int, np.ndarray] = {}
         labels: dict[int, int] = {}
@@ -59,6 +60,7 @@ class WeightedMajorityVote(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Aggregate by quality-weighted majority vote."""
         self._validate(answers, n_classes, n_annotators)
         if self.weights.size != n_annotators:
             raise ConfigurationError(

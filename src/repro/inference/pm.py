@@ -40,6 +40,7 @@ class PMInference(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run PM's distance-based iterative weighting over ``answers``."""
         self._validate(answers, n_classes, n_annotators)
         object_ids = sorted(answers)
         if not object_ids:

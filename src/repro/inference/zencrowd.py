@@ -41,6 +41,7 @@ class ZenCrowd(TruthInference):
 
     def infer(self, answers: AnswerMap, n_classes: int,
               n_annotators: int) -> InferenceResult:
+        """Run ZenCrowd's reliability EM over ``answers``."""
         self._validate(answers, n_classes, n_annotators)
         object_ids = sorted(answers)
         if not object_ids:

@@ -66,6 +66,7 @@ class Dense(Layer):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Affine transform of a ``(batch, in_features)`` input."""
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ConfigurationError(
@@ -75,6 +76,7 @@ class Dense(Layer):
         return x @ self.weight + self.bias
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias gradients; return the input gradient."""
         if self._x is None:
             raise RuntimeError("backward called before a training-mode forward")
         self._grad_w += self._x.T @ grad_out
@@ -97,12 +99,14 @@ class ReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Zero out negative activations."""
         x = np.asarray(x, dtype=float)
         mask = x > 0
         self._mask = mask if training else None
         return x * mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pass gradients only where the forward input was positive."""
         if self._mask is None:
             raise RuntimeError("backward called before a training-mode forward")
         return grad_out * self._mask
@@ -115,11 +119,13 @@ class Tanh(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Apply elementwise tanh."""
         out = np.tanh(np.asarray(x, dtype=float))
         self._out = out if training else None
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scale gradients by ``1 - tanh(x)^2``."""
         if self._out is None:
             raise RuntimeError("backward called before a training-mode forward")
         return grad_out * (1.0 - self._out ** 2)
@@ -132,6 +138,7 @@ class Sigmoid(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Numerically stable elementwise logistic sigmoid."""
         x = np.asarray(x, dtype=float)
         out = np.empty_like(x)
         pos = x >= 0
@@ -142,6 +149,7 @@ class Sigmoid(Layer):
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scale gradients by ``sigmoid(x) * (1 - sigmoid(x))``."""
         if self._out is None:
             raise RuntimeError("backward called before a training-mode forward")
         return grad_out * self._out * (1.0 - self._out)
@@ -159,6 +167,7 @@ class Softmax(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Row-wise softmax over logits."""
         x = np.asarray(x, dtype=float)
         shifted = x - x.max(axis=1, keepdims=True)
         ex = np.exp(shifted)
@@ -167,6 +176,7 @@ class Softmax(Layer):
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Jacobian-vector product of the row-wise softmax."""
         if self._out is None:
             raise RuntimeError("backward called before a training-mode forward")
         s = self._out
@@ -185,6 +195,7 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Randomly drop units (training only), rescaled by ``1/keep``."""
         x = np.asarray(x, dtype=float)
         if not training or self.rate == 0.0:
             self._mask = None
@@ -194,6 +205,7 @@ class Dropout(Layer):
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate gradients through the surviving units."""
         if self._mask is None:
             return grad_out
         return grad_out * self._mask

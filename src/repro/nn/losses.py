@@ -43,6 +43,7 @@ class MeanSquaredError(Loss):
     """0.5 * mean squared error (the 0.5 cancels in the gradient)."""
 
     def value(self, pred, target, weights=None) -> float:
+        """Weighted 0.5-MSE over the batch."""
         pred = np.asarray(pred, float)
         target = np.asarray(target, float)
         w = _weights(weights, pred.shape[0])
@@ -50,6 +51,7 @@ class MeanSquaredError(Loss):
         return float((w * per_sample).sum())
 
     def grad(self, pred, target, weights=None) -> np.ndarray:
+        """Gradient of the weighted MSE w.r.t. predictions."""
         pred = np.asarray(pred, float)
         target = np.asarray(target, float)
         w = _weights(weights, pred.shape[0])
@@ -65,6 +67,7 @@ class HuberLoss(Loss):
         self.delta = delta
 
     def value(self, pred, target, weights=None) -> float:
+        """Weighted Huber loss over the batch."""
         pred = np.asarray(pred, float)
         target = np.asarray(target, float)
         w = _weights(weights, pred.shape[0])
@@ -76,6 +79,7 @@ class HuberLoss(Loss):
         return float((w * per_elem.sum(axis=1)).sum())
 
     def grad(self, pred, target, weights=None) -> np.ndarray:
+        """Gradient of the Huber loss: the clipped error, weighted."""
         pred = np.asarray(pred, float)
         target = np.asarray(target, float)
         w = _weights(weights, pred.shape[0])
@@ -108,6 +112,7 @@ class SoftmaxCrossEntropy(Loss):
         return np.asarray(target, dtype=float)
 
     def value(self, pred, target, weights=None) -> float:
+        """Weighted cross-entropy of softmaxed logits against targets."""
         logits = np.asarray(pred, float)
         soft = self._to_soft(target, logits.shape[1])
         w = _weights(weights, logits.shape[0])
@@ -116,6 +121,7 @@ class SoftmaxCrossEntropy(Loss):
         return float((w * per_sample).sum())
 
     def grad(self, pred, target, weights=None) -> np.ndarray:
+        """Gradient w.r.t. logits: ``softmax(pred) - target``, weighted."""
         logits = np.asarray(pred, float)
         soft = self._to_soft(target, logits.shape[1])
         w = _weights(weights, logits.shape[0])

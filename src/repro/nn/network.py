@@ -59,6 +59,7 @@ class Network:
     # Forward / backward
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer stack; 1-D input is promoted to a single row."""
         out = np.asarray(x, dtype=float)
         if out.ndim == 1:
             out = out[None, :]
@@ -69,6 +70,7 @@ class Network:
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through the stack, accumulating parameter grads."""
         grad = np.asarray(grad_out, dtype=float)
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
@@ -82,6 +84,7 @@ class Network:
     # Training
     # ------------------------------------------------------------------
     def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Flat ``(param, grad)`` pairs across all layers, in layer order."""
         pairs: list[tuple[np.ndarray, np.ndarray]] = []
         for layer in self.layers:
             params, grads = layer.params, layer.grads
@@ -115,6 +118,7 @@ class Network:
         ]
 
     def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Load parameter dicts produced by :meth:`get_weights`."""
         if len(weights) != len(self.layers):
             raise ConfigurationError(
                 f"expected weights for {len(self.layers)} layers, got {len(weights)}"

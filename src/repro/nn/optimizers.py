@@ -82,6 +82,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self, params_and_grads: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply one bias-corrected Adam update to every (param, grad) pair."""
         self._t += 1
         bc1 = 1.0 - self.beta1 ** self._t
         bc2 = 1.0 - self.beta2 ** self._t

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.exceptions import ConfigurationError
 from repro.rl.qnetwork import QNetwork
 from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, Transition
@@ -76,6 +77,7 @@ class DQNAgent:
         self._train_steps = 0
 
     # ------------------------------------------------------------------
+    @shaped(action_features="(n_actions, n_features)", result="(n_actions,)")
     def q_values(self, action_features: np.ndarray) -> np.ndarray:
         """Q for each row of featurized candidate actions."""
         return self.qnet.predict(action_features)

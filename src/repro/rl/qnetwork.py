@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.exceptions import ConfigurationError
 from repro.nn.losses import HuberLoss
 from repro.nn.network import Network
@@ -40,14 +41,25 @@ class QNetwork:
         self._optimizer = Adam(learning_rate)
 
     # ------------------------------------------------------------------
+    def _validate_features(self, features: np.ndarray) -> np.ndarray:
+        """Coerce a single vector or a batch to ``(n, n_features)``."""
+        batch = np.atleast_2d(np.asarray(features, dtype=float))
+        if batch.ndim != 2 or batch.shape[1] != self.n_features:
+            raise ConfigurationError(
+                f"features must have {self.n_features} columns, got shape "
+                f"{np.asarray(features).shape}"
+            )
+        return batch
+
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Q-values for a batch of featurized actions, shape ``(n,)``."""
-        return self.online.forward(np.atleast_2d(features)).ravel()
+        return self.online.forward(self._validate_features(features)).ravel()
 
     def predict_target(self, features: np.ndarray) -> np.ndarray:
         """Target-network Q-values, shape ``(n,)``."""
-        return self.target.forward(np.atleast_2d(features)).ravel()
+        return self.target.forward(self._validate_features(features)).ravel()
 
+    @shaped(targets="(n_samples,)")
     def train_on_targets(self, features: np.ndarray,
                          targets: np.ndarray) -> float:
         """One Huber-loss regression step of Q(features) toward ``targets``."""
@@ -68,5 +80,6 @@ class QNetwork:
         return self.online.get_weights()
 
     def set_weights(self, weights) -> None:
+        """Load weights into the online net and resync the target copy."""
         self.online.set_weights(weights)
         self.sync_target()

@@ -48,6 +48,7 @@ class ReplayBuffer:
         return len(self._storage)
 
     def push(self, transition: Transition) -> None:
+        """Append a transition, overwriting the oldest slot when full."""
         if len(self._storage) < self.capacity:
             self._storage.append(transition)
         else:
@@ -55,6 +56,7 @@ class ReplayBuffer:
         self._next_slot = (self._next_slot + 1) % self.capacity
 
     def sample(self, batch_size: int) -> list[Transition]:
+        """Draw ``batch_size`` transitions uniformly (with replacement)."""
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
         if not self._storage:
@@ -63,6 +65,7 @@ class ReplayBuffer:
         return [self._storage[i] for i in idx]
 
     def clear(self) -> None:
+        """Drop every stored transition and reset the write cursor."""
         self._storage.clear()
         self._next_slot = 0
 
@@ -86,11 +89,13 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self._last_sampled: np.ndarray = np.empty(0, dtype=int)
 
     def push(self, transition: Transition) -> None:
+        """Append with maximal priority so new transitions replay soon."""
         slot = self._next_slot if len(self._storage) == self.capacity else len(self._storage)
         super().push(transition)
         self._priorities[slot] = self._max_priority
 
     def sample(self, batch_size: int) -> list[Transition]:
+        """Draw ``batch_size`` transitions proportional to priority^alpha."""
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
         if not self._storage:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike, as_rng
 
@@ -30,6 +31,7 @@ class ActionStatistics:
         self.total = 0
 
     def record(self, action: int) -> None:
+        """Count one selection of ``action`` (feeds the UCB bonus)."""
         if not 0 <= action < self.counts.size:
             raise ConfigurationError(
                 f"action {action} out of range [0, {self.counts.size})"
@@ -51,6 +53,7 @@ class ActionStatistics:
         return bonus
 
 
+@shaped(q_values="(n_actions,)")
 def greedy_action(q_values: np.ndarray) -> int:
     """Plain argmax; raises if every action is masked."""
     q = np.asarray(q_values, dtype=float)
@@ -60,6 +63,7 @@ def greedy_action(q_values: np.ndarray) -> int:
     return best
 
 
+@shaped(q_values="(n_actions,)")
 def epsilon_greedy_action(q_values: np.ndarray, epsilon: float,
                           rng: SeedLike = None) -> int:
     """Explore uniformly over unmasked actions with probability ``epsilon``."""
@@ -75,6 +79,7 @@ def epsilon_greedy_action(q_values: np.ndarray, epsilon: float,
     return greedy_action(q)
 
 
+@shaped(q_values="(n_actions,)")
 def ucb_action(q_values: np.ndarray, stats: ActionStatistics) -> int:
     """The paper's Eq. 6: argmax of Q plus the UCB1 bonus, masks respected."""
     q = np.asarray(q_values, dtype=float)

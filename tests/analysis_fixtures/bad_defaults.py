@@ -1,0 +1,16 @@
+"""REPRO002 fixture: one hit, one clean default, one suppressed hit."""
+
+
+def hit(items=[]):
+    """Mutable list default (flagged)."""
+    return items
+
+
+def clean(items=None):
+    """None default with lazy init (allowed)."""
+    return items if items is not None else []
+
+
+def suppressed(cache={}):  # repro: noqa REPRO002
+    """Mutable dict default with an inline waiver (suppressed)."""
+    return cache

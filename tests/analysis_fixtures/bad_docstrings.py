@@ -1,0 +1,25 @@
+"""REPRO006 fixture: missing docstrings, a documented pair, a waiver."""
+
+
+def hit(x):
+    y = x + 1
+    return y * 2
+
+
+class Hit:
+    n = 1
+
+    def method(self, x):
+        y = x + self.n
+        return y
+
+
+def clean(x):
+    """Documented public function (allowed)."""
+    y = x + 1
+    return y
+
+
+def suppressed(x):  # repro: noqa REPRO006
+    y = x - 1
+    return y

@@ -1,0 +1,25 @@
+"""REPRO004 fixture: bare/swallowing handlers, a clean one, a waiver."""
+
+
+def hit():
+    """Bare except that swallows everything (flagged)."""
+    try:
+        return 1 / 0
+    except:
+        pass
+
+
+def clean():
+    """Typed handler that actually handles (allowed)."""
+    try:
+        return 1 / 0
+    except ZeroDivisionError as exc:
+        raise ValueError("division in fixture") from exc
+
+
+def suppressed():
+    """Swallowing handler with an inline waiver (suppressed)."""
+    try:
+        return 1 / 0
+    except ZeroDivisionError:  # repro: noqa REPRO004
+        pass

@@ -1,0 +1,26 @@
+"""REPRO005 fixture: in-place writes to protected args, clean, waiver."""
+
+
+def hit(state):
+    """Subscript write through a protected argument (flagged)."""
+    state["labels"] = []
+    return state
+
+
+def hit_method(history):
+    """Mutating method call on a protected argument (flagged)."""
+    history.append(1)
+    return history
+
+
+def clean(state):
+    """Copy before writing (allowed)."""
+    fresh = dict(state)
+    fresh["labels"] = []
+    return fresh
+
+
+def suppressed(answers):
+    """In-place update with an inline waiver (suppressed)."""
+    answers.update({0: {}})  # repro: noqa REPRO005
+    return answers

@@ -1,0 +1,19 @@
+"""REPRO001 fixture: one hit, one clean call, one suppressed hit."""
+
+import numpy as np
+
+
+def hit():
+    """Call through the global numpy RNG (flagged)."""
+    return np.random.rand(3)
+
+
+def clean(seed):
+    """Construct a seeded generator (allowed)."""
+    rng = np.random.default_rng(seed)
+    return rng.random(3)
+
+
+def suppressed():
+    """Global call with an inline waiver (suppressed)."""
+    return np.random.rand(3)  # repro: noqa REPRO001

@@ -1,0 +1,7 @@
+"""REPRO005 path exemption fixture: core/state.py may mutate state."""
+
+
+def transition(state, label):
+    """The designated owner may write in place (exempt by path)."""
+    state["labels"] = label
+    return state

@@ -1,0 +1,24 @@
+"""REPRO003 fixture (inference/ scope): hit, clean and suppressed."""
+
+
+def hit(answers, n_classes):
+    """Array-contract parameter with no validation (flagged)."""
+    return len(answers) * n_classes
+
+
+def clean(answers, n_classes):
+    """Validates via a check_* helper (allowed)."""
+    check_answers(answers, n_classes)
+    return len(answers)
+
+
+def check_answers(answers, n_classes):
+    """Stand-in validator; raising is the evidence the rule wants."""
+    if n_classes <= 0:
+        raise ValueError("n_classes must be positive")
+    return answers
+
+
+def suppressed(answers):  # repro: noqa REPRO003
+    """Unvalidated parameter with an inline waiver (suppressed)."""
+    return list(answers)
