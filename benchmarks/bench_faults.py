@@ -1,0 +1,83 @@
+"""Resilience-layer overhead micro-benchmarks.
+
+Not a paper figure — these pin the acceptance bar of the fault-tolerance
+layer: with every fault rate at zero the ``UnreliablePlatform`` and the
+``ResilientCollector`` both take pure-delegation fast paths, so draining a
+batch through the full stack must cost within 5% of draining it through
+the bare platform.  A separate case measures the stack under a 20% fault
+rate, where recovery work (retries, reassignment, breaker bookkeeping) is
+*expected* to cost extra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.confusion import ConfusionMatrix
+from repro.crowd.cost import BudgetManager
+from repro.crowd.faults import FaultModel, UnreliablePlatform
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pool import AnnotatorPool
+from repro.crowd.resilient import ResilientCollector
+
+N_OBJECTS = 200
+N_ANNOTATORS = 8
+
+
+def _build_platform(seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=N_OBJECTS)
+    streams = rng.spawn(N_ANNOTATORS)
+    annotators = [
+        Annotator(annotator_id=j, kind=AnnotatorKind.WORKER,
+                  confusion=ConfusionMatrix.from_accuracy(2, 0.7),
+                  cost=1.0, _rng=streams[j])
+        for j in range(N_ANNOTATORS)
+    ]
+    pool = AnnotatorPool(annotators, 2)
+    return CrowdPlatform(labels, pool, BudgetManager(10.0 ** 9))
+
+
+def _assignments():
+    return [(i, list(range(N_ANNOTATORS))) for i in range(N_OBJECTS)]
+
+
+def _drain(platform_factory):
+    def run():
+        platform = platform_factory()
+        return platform.ask_batch(_assignments())
+    return run
+
+
+def _wrapped(rate):
+    def factory():
+        platform = _build_platform()
+        model = FaultModel.from_rate(N_ANNOTATORS, rate, rng=1)
+        return ResilientCollector(UnreliablePlatform(platform, model), rng=2)
+    return factory
+
+
+def test_bench_bare_platform(benchmark):
+    """Baseline: the unwrapped platform drains the batch."""
+    records = benchmark(_drain(_build_platform))
+    assert len(records) == N_OBJECTS * N_ANNOTATORS
+
+
+def test_bench_resilient_stack_rate_zero(benchmark):
+    """Acceptance: rate-0 stack within 5% of the bare platform.
+
+    Compare its mean against ``test_bench_bare_platform`` (both build the
+    platform inside the timed region, so the delta isolates the two
+    wrapper hops' delegation cost).
+    """
+    records = benchmark(_drain(_wrapped(0.0)))
+    assert len(records) == N_OBJECTS * N_ANNOTATORS
+    benchmark.extra_info["acceptance"] = "mean <= 1.05 x bare platform"
+
+
+def test_bench_resilient_stack_rate_20(benchmark):
+    """The recovery price under a 20% fault rate (not a regression bar)."""
+    records = benchmark(_drain(_wrapped(0.2)))
+    assert records  # most answers recovered via retry/reassignment

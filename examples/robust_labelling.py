@@ -6,6 +6,10 @@ worker pool, then compares how (a) naive majority voting, (b) Dawid-Skene
 EM, and (c) CrowdRL's full pipeline cope — illustrating why the State's
 estimated-quality column and confusion-matrix-aware inference matter.
 
+A second section injects *operational* faults (timeouts, abandonment,
+offline bursts) at increasing rates and plots the degradation curve:
+accuracy vs fault rate with the resilient collector absorbing the damage.
+
 Run:  python examples/robust_labelling.py
 """
 
@@ -53,6 +57,36 @@ def crowdrl_accuracy(pool: AnnotatorPool, dataset) -> float:
     return outcome.evaluate(platform.evaluation_labels()).accuracy
 
 
+def degradation_curve(rates=(0.0, 0.05, 0.1, 0.2, 0.4),
+                      frameworks=("DLTA", "CrowdRL")) -> None:
+    """Accuracy vs fault rate, with the resilient collector switched on.
+
+    At rate 0 the fault layer is inert and the numbers match an unguarded
+    run exactly; as the rate climbs, retries and reassignments spend
+    budget on recovery instead of labels, so accuracy degrades smoothly
+    rather than the run crashing.
+    """
+    from repro.harness.experiment import ExperimentSetting, run_experiment
+
+    setting = ExperimentSetting("S12CP", scale=0.02, seed=0)
+    rows = []
+    for rate in rates:
+        row = [f"{rate:.2f}"]
+        recoveries = 0
+        for name in frameworks:
+            result = run_experiment(name, setting, pretrain=False,
+                                    faults=rate)
+            row.append(result.report.accuracy)
+            stats = result.outcome.extras["collector"]
+            recoveries += stats["retries"] + stats["reassignments"]
+        row.append(recoveries)
+        rows.append(row)
+    print(format_table(
+        ["fault rate", *[f"{n} acc" for n in frameworks], "recoveries"],
+        rows,
+    ))
+
+
 def main() -> None:
     rng = np.random.default_rng(0)
     dataset = make_blobs(150, 10, separation=2.2, name="reviews", rng=rng)
@@ -87,6 +121,15 @@ def main() -> None:
         "a 20% smaller budget and, on the hostile pool, still beats the "
         "full-redundancy majority vote because it steers assignments away "
         "from low-quality workers as its estimates sharpen."
+    )
+
+    print("\ndegradation under operational faults (resilient collector on)")
+    degradation_curve()
+    print(
+        "\nReading: the collector retries timeouts, reassigns abandoned "
+        "questions to the next-best affordable annotator and quarantines "
+        "chronically failing workers, so accuracy falls gradually with the "
+        "fault rate instead of the run dying on the first lost answer."
     )
 
 

@@ -144,7 +144,9 @@ class CrowdRL(LabellingFramework):
             agent.set_policy_weights(self._pretrained_weights)
         state = LabellingState(platform.history, platform.pool, platform.budget,
                                answer_norm=config.k_per_object,
-                               mask_enriched=config.sticky_enrichment)
+                               mask_enriched=config.sticky_enrichment,
+                               unavailable=getattr(
+                                   platform, "quarantined_annotators", None))
 
         # ---- Algorithm 1 line 2: initial alpha-sample ----
         self._initial_sample(platform)

@@ -20,7 +20,7 @@ never from latent ground truth.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import AbstractSet, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -47,13 +47,19 @@ class LabellingState:
         *,
         answer_norm: int = 5,
         mask_enriched: bool = True,
+        unavailable: Optional[Callable[[], AbstractSet[int]]] = None,
     ) -> None:
         """``mask_enriched`` controls whether classifier-enriched objects are
         excluded from the action space.  The paper's worked example (Table
         III) leaves the classifier-labelled object selectable, and with
         non-sticky enrichment its provisional labels can still be improved
         by human answers, so CrowdRL runs with ``mask_enriched=False``
-        unless enrichment is sticky."""
+        unless enrichment is sticky.
+
+        ``unavailable`` is an optional zero-argument callable returning the
+        ids of annotators currently out of rotation (e.g. quarantined by a
+        :class:`~repro.crowd.resilient.ResilientCollector`); their columns
+        are masked out of the action space exactly like answered pairs."""
         if answer_norm <= 0:
             raise ConfigurationError(f"answer_norm must be > 0, got {answer_norm}")
         self.history = history
@@ -61,6 +67,7 @@ class LabellingState:
         self.budget = budget
         self.answer_norm = answer_norm
         self.mask_enriched = mask_enriched
+        self.unavailable = unavailable
         self._classifier_proba: Optional[np.ndarray] = None
         self._human_labelled: set[int] = set()
         self._enriched: set[int] = set()
@@ -192,8 +199,9 @@ class LabellingState:
 
         Invalid (to be scored ``-inf``, Section IV-B): pairs whose object is
         already labelled (by humans or enrichment), pairs already answered,
-        annotators the remaining budget cannot afford, and annotators that
-        have exhausted their answer capacity.
+        annotators the remaining budget cannot afford, annotators that
+        have exhausted their answer capacity, and annotators reported
+        unavailable (quarantined) by the collection layer.
         """
         mask = np.ones((self.history.n_objects, len(self.pool)), dtype=bool)
         if self.mask_enriched:
@@ -209,5 +217,10 @@ class LabellingState:
                  or self.history.annotator_load(a.annotator_id) < a.capacity)
             for a in self.pool
         ])
+        if self.unavailable is not None:
+            out = [int(j) for j in self.unavailable()
+                   if 0 <= int(j) < len(self.pool)]
+            if out:
+                available[out] = False
         mask &= available[None, :]
         return mask

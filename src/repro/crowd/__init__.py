@@ -13,9 +13,15 @@ the first block of the RL State.
 from repro.crowd.annotator import Annotator, AnnotatorKind
 from repro.crowd.confusion import ConfusionMatrix
 from repro.crowd.cost import BudgetManager, CostModel
+from repro.crowd.faults import FaultKind, FaultModel, UnreliablePlatform
 from repro.crowd.history import UNANSWERED, LabellingHistory
 from repro.crowd.platform import AnswerRecord, CrowdPlatform
 from repro.crowd.pool import AnnotatorPool
+from repro.crowd.resilient import (
+    CollectorStats,
+    ResiliencePolicy,
+    ResilientCollector,
+)
 
 __all__ = [
     "ConfusionMatrix",
@@ -28,4 +34,10 @@ __all__ = [
     "UNANSWERED",
     "CrowdPlatform",
     "AnswerRecord",
+    "FaultKind",
+    "FaultModel",
+    "UnreliablePlatform",
+    "ResiliencePolicy",
+    "ResilientCollector",
+    "CollectorStats",
 ]

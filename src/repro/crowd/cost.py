@@ -74,6 +74,15 @@ class BudgetManager:
         """Total spend recorded after ledger position ``since``."""
         return sum(amount for _o, _a, amount in self._ledger[since:])
 
+    def ledger_entries(self, since: int = 0) -> list[tuple[int, int, float]]:
+        """Ledger rows ``(object_id, annotator_id, amount)`` from ``since``.
+
+        Checkpointing journals these so a resumed run can replay the exact
+        spend sequence, including partial charges for faulted work that
+        never produced an answer record.
+        """
+        return list(self._ledger[since:])
+
     @property
     def ledger_length(self) -> int:
         return len(self._ledger)

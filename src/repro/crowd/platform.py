@@ -141,7 +141,13 @@ class CrowdPlatform:
                 if self.at_capacity(annotator_id):
                     continue
                 if not self.budget.can_afford(self.pool[annotator_id].cost):
-                    return collected
+                    # This annotator is out of reach, but a cheaper one later
+                    # in the batch may not be; only stop once even the
+                    # cheapest annotator is unaffordable, so the budget
+                    # drains exactly as promised.
+                    if not self.budget.can_afford(self.cheapest_cost()):
+                        return collected
+                    continue
                 collected.append(self.ask(object_id, annotator_id))
         return collected
 

@@ -6,10 +6,17 @@
 plots as plain-text tables/series.
 """
 
+from repro.harness.checkpoint import (
+    CheckpointRecorder,
+    RunCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
     RunResult,
+    clear_pretrained_policies,
     make_framework,
     paper_budget,
     run_experiment,
@@ -37,6 +44,11 @@ __all__ = [
     "make_framework",
     "paper_budget",
     "run_experiment",
+    "clear_pretrained_policies",
+    "RunCheckpoint",
+    "CheckpointRecorder",
+    "save_checkpoint",
+    "load_checkpoint",
     "fig4",
     "fig5",
     "fig6",

@@ -1,0 +1,367 @@
+"""Checkpoint/resume for experiment runs.
+
+A labelling run is a deterministic function of its seeds — *given* the
+sequence of crowd interactions.  The checkpoint layer exploits that:
+:class:`CheckpointRecorder` wraps the platform stack and journals every
+collection call (the answer records it returned, the exact budget-ledger
+slice it produced, and any error it raised), periodically persisting the
+journal plus all mutable RNG/collector state to disk, atomically.
+
+Resuming kills two birds:
+
+* the journalled prefix is *replayed* — answers are applied straight from
+  the journal without touching the crowd simulation, so annotator RNG
+  streams are not consumed — while the framework re-derives its own state
+  deterministically from its seed;
+* at the replay→live transition every recorded stream (annotator RNGs,
+  fault-model clock/outages/RNG, collector breaker state, the framework's
+  generator) is restored from the checkpoint, so the remainder of the run
+  is bit-for-bit identical to the run that was never interrupted.  The
+  chaos tests pin this equivalence.
+
+The journal is batch-granular on purpose: frameworks observe the platform
+(budget, history) only between ``ask``/``ask_batch`` calls, so replay only
+needs to reproduce platform state at those boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import exceptions as _exceptions
+from repro.crowd.faults import PlatformWrapper
+from repro.crowd.platform import AnswerRecord
+from repro.exceptions import CheckpointError, ReproError
+from repro.harness.serialization import PathLike, rng_state, set_rng_state
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """One journalled collection call.
+
+    ``records`` are the answers the call returned, ``ledger`` the budget
+    charges it caused (a superset of the record costs when faults wasted
+    money), and ``error`` the ``(exception class name, message)`` it raised
+    instead of returning, if any.
+    """
+
+    records: tuple  # of (object_id, annotator_id, answer, cost)
+    ledger: tuple   # of (object_id, annotator_id, amount)
+    error: Optional[tuple] = None  # (class name, message)
+
+    def to_payload(self) -> dict:
+        """JSON-ready form of this batch."""
+        payload = {
+            "records": [list(r) for r in self.records],
+            "ledger": [list(e) for e in self.ledger],
+        }
+        if self.error is not None:
+            payload["error"] = list(self.error)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BatchOutcome":
+        """Rebuild a batch from :meth:`to_payload` output."""
+        error = payload.get("error")
+        return cls(
+            records=tuple(
+                (int(o), int(a), int(ans), float(c))
+                for o, a, ans, c in payload["records"]
+            ),
+            ledger=tuple(
+                (int(o), int(a), float(amt))
+                for o, a, amt in payload["ledger"]
+            ),
+            error=(str(error[0]), str(error[1])) if error else None,
+        )
+
+
+@dataclass
+class RunCheckpoint:
+    """Everything needed to resume a run at a journal boundary."""
+
+    framework: str
+    setting: dict
+    batches: list  # of BatchOutcome
+    n_answers: int
+    budget_spent: float
+    framework_rng: dict
+    annotator_rngs: list
+    fault_state: Optional[dict] = None
+    collector_state: Optional[dict] = None
+    version: int = CHECKPOINT_VERSION
+
+
+def save_checkpoint(checkpoint: RunCheckpoint, path: PathLike) -> None:
+    """Write a checkpoint atomically (write-temp-then-rename).
+
+    A run killed *during* a save leaves the previous checkpoint intact —
+    the rename is the commit point.
+    """
+    payload = dataclasses.asdict(checkpoint)
+    payload["batches"] = [b.to_payload() for b in checkpoint.batches]
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: PathLike) -> RunCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        payload = json.loads(path.read_text())
+        if int(payload["version"]) != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {payload['version']} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return RunCheckpoint(
+            framework=str(payload["framework"]),
+            setting=dict(payload["setting"]),
+            batches=[BatchOutcome.from_payload(b)
+                     for b in payload["batches"]],
+            n_answers=int(payload["n_answers"]),
+            budget_spent=float(payload["budget_spent"]),
+            framework_rng=payload["framework_rng"],
+            annotator_rngs=list(payload["annotator_rngs"]),
+            fault_state=payload.get("fault_state"),
+            collector_state=payload.get("collector_state"),
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"malformed checkpoint at {path}: {exc}"
+        ) from exc
+
+
+def _replay_error(error: tuple) -> ReproError:
+    """Re-raise the exception class a journalled call originally raised."""
+    name, message = error
+    cls = getattr(_exceptions, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    return cls(message)
+
+
+@dataclass
+class RestoreTargets:
+    """The mutable streams a resume must re-synchronise after replay.
+
+    ``framework_rng`` is the generator object handed to the framework (all
+    framework-side randomness flows through it); ``annotators`` are the
+    pool's annotator objects (their private answer streams are *not*
+    consumed during replay and must be fast-forwarded); ``fault_model`` and
+    ``collector`` restore the fault clock/outages and the circuit-breaker
+    counters.
+    """
+
+    framework_rng: object
+    annotators: Sequence = ()
+    fault_model: Optional[object] = None
+    collector: Optional[object] = None
+
+
+class CheckpointRecorder(PlatformWrapper):
+    """Journals every collection call; replays the journal on resume."""
+
+    def __init__(
+        self,
+        inner,
+        path: PathLike,
+        *,
+        framework: str,
+        setting: dict,
+        restore: RestoreTargets,
+        every: int = 50,
+        resume_from: Optional[RunCheckpoint] = None,
+    ) -> None:
+        if every <= 0:
+            raise CheckpointError(f"checkpoint interval must be > 0, got {every}")
+        super().__init__(inner)
+        self.path = Path(path)
+        self.every = every
+        self.framework = framework
+        self.setting = setting
+        self.restore = restore
+        self._batches: list = []
+        self._n_answers = 0
+        self._since_save = 0
+        self._replay: list = []
+        self._replay_pos = 0
+        if resume_from is not None:
+            self._validate_resume(resume_from)
+            self._checkpoint = resume_from
+            self._replay = list(resume_from.batches)
+        else:
+            self._checkpoint = None
+
+    # ------------------------------------------------------------------
+    @property
+    def replaying(self) -> bool:
+        """Whether the journal prefix is still being replayed."""
+        return self._replay_pos < len(self._replay)
+
+    def _validate_resume(self, checkpoint: RunCheckpoint) -> None:
+        if checkpoint.framework != self.framework:
+            raise CheckpointError(
+                f"checkpoint was taken for framework "
+                f"{checkpoint.framework!r}, resuming {self.framework!r}"
+            )
+        if checkpoint.setting != self.setting:
+            raise CheckpointError(
+                "checkpoint setting does not match the resumed run: "
+                f"{checkpoint.setting} != {self.setting}"
+            )
+        if len(checkpoint.annotator_rngs) != len(self.inner.pool):
+            raise CheckpointError(
+                f"checkpoint covers {len(checkpoint.annotator_rngs)} "
+                f"annotators, platform has {len(self.inner.pool)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Collection (journal in live mode, serve the journal in replay mode)
+    # ------------------------------------------------------------------
+    def ask(self, object_id: int, annotator_id: int) -> AnswerRecord:
+        """Collect (or replay) one answer, journalling the outcome."""
+        if self.replaying:
+            records = self._apply_next_batch()
+            if len(records) != 1:
+                raise CheckpointError(
+                    f"journal divergence: ask() expected one record, "
+                    f"journal holds {len(records)}"
+                )
+            return records[0]
+        start = self.inner.budget.ledger_length
+        try:
+            record = self.inner.ask(object_id, annotator_id)
+        except ReproError as exc:
+            self._journal([], start, error=exc)
+            raise
+        self._journal([record], start)
+        return record
+
+    def ask_batch(self, assignments) -> list[AnswerRecord]:
+        """Collect (or replay) a batch of answers, journalling the outcome."""
+        if self.replaying:
+            # Drain the (lazy) assignment iterable so generator-based
+            # callers behave identically in replay and live mode.
+            list(assignments)
+            return self._apply_next_batch()
+        start = self.inner.budget.ledger_length
+        try:
+            records = self.inner.ask_batch(assignments)
+        except ReproError as exc:
+            self._journal([], start, error=exc)
+            raise
+        self._journal(records, start)
+        return records
+
+    # ------------------------------------------------------------------
+    # Live-mode journalling
+    # ------------------------------------------------------------------
+    def _journal(self, records, ledger_start: int, error=None) -> None:
+        batch = BatchOutcome(
+            records=tuple(
+                (int(r.object_id), int(r.annotator_id), int(r.answer),
+                 float(r.cost))
+                for r in records
+            ),
+            ledger=tuple(
+                (int(o), int(a), float(amt))
+                for o, a, amt in self.inner.budget.ledger_entries(ledger_start)
+            ),
+            error=(type(error).__name__, str(error)) if error else None,
+        )
+        self._batches.append(batch)
+        self._n_answers += len(records)
+        self._since_save += len(records)
+        if self._since_save >= self.every:
+            self.save()
+
+    def save(self) -> None:
+        """Snapshot the journal plus all restorable state to disk."""
+        checkpoint = RunCheckpoint(
+            framework=self.framework,
+            setting=self.setting,
+            batches=list(self._batches),
+            n_answers=self._n_answers,
+            budget_spent=self.inner.budget.spent,
+            framework_rng=rng_state(self.restore.framework_rng),
+            annotator_rngs=[rng_state(a._rng)
+                            for a in self.restore.annotators],
+            fault_state=(self.restore.fault_model.state_dict()
+                         if self.restore.fault_model is not None else None),
+            collector_state=(self.restore.collector.state_dict()
+                             if self.restore.collector is not None else None),
+        )
+        save_checkpoint(checkpoint, self.path)
+        self._since_save = 0
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _apply_next_batch(self) -> list[AnswerRecord]:
+        batch = self._replay[self._replay_pos]
+        self._replay_pos += 1
+        budget = self.inner.budget
+        history = self.inner.history
+        for object_id, annotator_id, amount in batch.ledger:
+            budget.charge(amount, object_id=object_id,
+                          annotator_id=annotator_id)
+        records = []
+        for object_id, annotator_id, answer, cost in batch.records:
+            history.record(object_id, annotator_id, answer)
+            record = AnswerRecord(object_id, annotator_id, answer, cost)
+            self.inner.answer_log.append(record)
+            records.append(record)
+        self._n_answers += len(records)
+        if not self.replaying:
+            self._finish_replay()
+        if batch.error is not None:
+            raise _replay_error(batch.error)
+        return records
+
+    def _finish_replay(self) -> None:
+        """Re-synchronise every stream at the replay→live transition."""
+        checkpoint = self._checkpoint
+        if abs(self.inner.budget.spent - checkpoint.budget_spent) > 1e-6:
+            raise CheckpointError(
+                f"replay divergence: spent {self.inner.budget.spent:.6f} "
+                f"after replay, checkpoint recorded "
+                f"{checkpoint.budget_spent:.6f}"
+            )
+        set_rng_state(self.restore.framework_rng, checkpoint.framework_rng)
+        for annotator, state in zip(self.restore.annotators,
+                                    checkpoint.annotator_rngs):
+            set_rng_state(annotator._rng, state)
+        if self.restore.fault_model is not None:
+            if checkpoint.fault_state is None:
+                raise CheckpointError(
+                    "resumed run injects faults but the checkpoint recorded "
+                    "no fault-model state"
+                )
+            self.restore.fault_model.load_state_dict(checkpoint.fault_state)
+        if self.restore.collector is not None:
+            if checkpoint.collector_state is None:
+                raise CheckpointError(
+                    "resumed run uses a resilient collector but the "
+                    "checkpoint recorded no collector state"
+                )
+            self.restore.collector.load_state_dict(
+                checkpoint.collector_state
+            )
+        # Journalling continues from the replayed prefix, so later saves
+        # contain the full history from the start of the run.
+        self._batches = list(self._replay)
+        self._since_save = 0

@@ -71,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--experts", type=int, default=2)
     run_parser.add_argument("--alpha", type=float, default=0.05)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--faults", type=float, default=None, metavar="RATE",
+        help="inject annotator faults at this per-request rate (0..1); "
+             "implies the resilient collector")
+    run_parser.add_argument(
+        "--no-resilient", action="store_true",
+        help="face injected faults without the resilient collector "
+             "(the run will likely crash — demonstration/debugging only)")
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal the run to PATH for kill/resume recovery")
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=50, metavar="N",
+        help="checkpoint every N collected answers (default 50)")
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the run journalled at --checkpoint")
     return parser
 
 
@@ -90,6 +107,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_figures(panels))
         return 0
 
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
     setting = ExperimentSetting(
         dataset_name=args.dataset,
         scale=args.scale,
@@ -99,7 +119,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         alpha=args.alpha,
         seed=args.seed,
     )
-    result = run_experiment(args.framework, setting)
+    resilient = False if args.no_resilient else None
+    result = run_experiment(
+        args.framework, setting,
+        faults=args.faults,
+        resilient=resilient,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
     report = result.report
     print(f"framework : {args.framework}")
     print(f"dataset   : {args.dataset} (n={report.n_evaluated})")
@@ -107,6 +135,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{setting.resolve_budget():.0f} spent")
     print(f"iterations: {result.outcome.iterations}")
     print(f"sources   : {result.outcome.source_counts()}")
+    collector = result.outcome.extras.get("collector")
+    if collector is not None:
+        quarantined = result.outcome.extras.get("quarantined", [])
+        print(f"resilience: {collector['answers']} answers, "
+              f"{collector['retries']} retries, "
+              f"{collector['reassignments']} reassignments, "
+              f"{collector['gave_up']} given up, "
+              f"quarantined={quarantined}")
     print(f"precision={report.precision:.3f} recall={report.recall:.3f} "
           f"f1={report.f1:.3f} accuracy={report.accuracy:.3f}")
     return 0

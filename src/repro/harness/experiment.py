@@ -8,8 +8,8 @@ framework differs, so metric gaps are attributable to the framework.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -19,9 +19,16 @@ from repro.core.config import CrowdRLConfig
 from repro.core.framework import CrowdRL, LabellingFramework
 from repro.core.result import LabellingOutcome
 from repro.crowd.cost import CostModel
+from repro.crowd.faults import FaultModel, UnreliablePlatform
+from repro.crowd.resilient import ResiliencePolicy, ResilientCollector
 from repro.datasets.base import LabelledDataset
 from repro.datasets.registry import load_dataset
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.harness.checkpoint import (
+    CheckpointRecorder,
+    RestoreTargets,
+    load_checkpoint,
+)
 from repro.metrics.classification import ClassificationReport
 from repro.utils.rng import as_rng
 
@@ -103,6 +110,18 @@ _RL_FRAMEWORKS = ("CrowdRL", "M1", "M2", "M3")
 _PRETRAINED_POLICIES: dict = {}
 
 
+def clear_pretrained_policies() -> None:
+    """Empty the module-global offline-policy cache.
+
+    A cache hit skips the pretraining episodes (and their RNG draws), so a
+    warm cache changes RL-framework results relative to a cold one.  Tests
+    and any caller needing run-to-run determinism across process lifetimes
+    — notably checkpoint/resume equivalence checks — should clear it
+    between runs.
+    """
+    _PRETRAINED_POLICIES.clear()
+
+
 def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
     """The paper's offline cross-training (Section VI-A4).
 
@@ -145,6 +164,12 @@ def run_experiment(
     *,
     dataset: Optional[LabelledDataset] = None,
     pretrain: bool = True,
+    faults: Union[None, float, FaultModel] = None,
+    resilient: Union[None, bool, ResiliencePolicy] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 50,
+    resume: bool = False,
+    platform_hook: Optional[Callable] = None,
 ) -> RunResult:
     """Run one framework on one setting and score it.
 
@@ -153,7 +178,35 @@ def run_experiment(
     ``setting.seed``, so two frameworks on the same setting face identical
     pools.  RL-based frameworks get one offline cross-training episode
     first (Section VI-A4) unless ``pretrain=False``.
+
+    Fault tolerance:
+
+    * ``faults`` injects annotator failures — pass a ready
+      :class:`FaultModel` or a float rate (expanded via
+      :meth:`FaultModel.from_rate` with a seed derived from the setting).
+    * ``resilient`` wraps collection in a :class:`ResilientCollector`
+      (retry / reassign / quarantine).  Defaults to on whenever faults are
+      injected; pass a :class:`ResiliencePolicy` to tune it or ``False``
+      to watch the framework face the raw faults.
+    * ``checkpoint_path`` journals the run there every
+      ``checkpoint_every`` answers; with ``resume=True`` the run restarts
+      from that journal and finishes bit-for-bit identical to an
+      uninterrupted run (see :mod:`repro.harness.checkpoint`).
+    * ``platform_hook`` is applied to the fully wrapped platform before
+      the run — the chaos tests use it to inject process kills.
     """
+    checkpoint = None
+    if resume:
+        if checkpoint_path is None:
+            raise ConfigurationError(
+                "resume=True requires checkpoint_path"
+            )
+        checkpoint = load_checkpoint(checkpoint_path)
+        if checkpoint.framework != framework_name:
+            raise CheckpointError(
+                f"checkpoint holds a {checkpoint.framework!r} run, cannot "
+                f"resume {framework_name!r}"
+            )
     if dataset is None:
         dataset = load_dataset(
             setting.dataset_name, scale=setting.scale, rng=setting.seed
@@ -162,7 +215,7 @@ def run_experiment(
         dataset = dataset.subsample(
             setting.subsample, rng=as_rng(setting.seed + 1)
         )
-    platform = make_platform(
+    base_platform = make_platform(
         dataset,
         n_workers=setting.n_workers,
         n_experts=setting.n_experts,
@@ -170,12 +223,55 @@ def run_experiment(
         cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
         rng=setting.seed + 1000,
     )
-    framework = make_framework(
-        framework_name, setting, as_rng(setting.seed + 2000)
+    platform = base_platform
+    fault_model: Optional[FaultModel] = None
+    if faults is not None:
+        fault_model = (
+            faults if isinstance(faults, FaultModel)
+            else FaultModel.from_rate(
+                len(base_platform.pool), float(faults),
+                rng=setting.seed + 3000,
+            )
+        )
+        platform = UnreliablePlatform(platform, fault_model)
+    collector: Optional[ResilientCollector] = None
+    use_collector = (
+        resilient if isinstance(resilient, bool)
+        else resilient is not None or fault_model is not None
     )
+    if use_collector:
+        policy = resilient if isinstance(resilient, ResiliencePolicy) else None
+        collector = ResilientCollector(
+            platform, policy=policy, rng=setting.seed + 4000
+        )
+        platform = collector
+    framework_rng = as_rng(setting.seed + 2000)
+    framework = make_framework(framework_name, setting, framework_rng)
+    if checkpoint_path is not None:
+        platform = CheckpointRecorder(
+            platform,
+            checkpoint_path,
+            framework=framework_name,
+            setting=asdict(setting),
+            restore=RestoreTargets(
+                framework_rng=framework_rng,
+                annotators=base_platform.pool.annotators,
+                fault_model=fault_model,
+                collector=collector,
+            ),
+            every=checkpoint_every,
+            resume_from=checkpoint,
+        )
+    if platform_hook is not None:
+        platform = platform_hook(platform)
     if pretrain and framework_name in _RL_FRAMEWORKS:
         _cross_train(framework, setting)
     outcome = framework.run(dataset, platform)
+    if collector is not None:
+        outcome.extras["collector"] = collector.stats.as_dict()
+        outcome.extras["quarantined"] = sorted(
+            collector.quarantined_annotators()
+        )
     report = outcome.evaluate(
         platform.evaluation_labels(), n_classes=dataset.n_classes
     )
@@ -198,12 +294,28 @@ def run_comparison(
         dataset = load_dataset(
             seeded.dataset_name, scale=seeded.scale, rng=seeded.seed
         )
+        # Every framework labels the same shared draw, so the evaluated
+        # object count comes from the dataset — not from whichever
+        # framework happened to run last.  A subsampled setting shrinks the
+        # draw identically for every framework (the subsample RNG derives
+        # from the seed), so the expected count is the subsampled size.
+        if seeded.subsample < 1.0:
+            n_objects = dataset.subsample(
+                seeded.subsample, rng=as_rng(seeded.seed + 1)
+            ).n_objects
+        else:
+            n_objects = dataset.n_objects
         for name in framework_names:
             result = run_experiment(name, seeded, dataset=dataset)
             report = result.report
+            if report.n_evaluated != n_objects:
+                raise ConfigurationError(
+                    f"framework {name!r} evaluated {report.n_evaluated} "
+                    f"objects, shared dataset has {n_objects}; comparison "
+                    f"metrics would not be comparable"
+                )
             sums[name] += [report.precision, report.recall, report.f1,
                            report.accuracy]
-            n_objects = report.n_evaluated
     return {
         name: ClassificationReport(
             precision=float(vals[0] / n_seeds),

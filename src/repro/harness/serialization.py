@@ -51,6 +51,28 @@ def load_outcome(path: PathLike) -> LabellingOutcome:
         raise ConfigurationError(f"outcome file missing field: {exc}") from exc
 
 
+def rng_state(generator: np.random.Generator) -> dict:
+    """Capture a generator's bit-generator state (JSON-serialisable).
+
+    numpy's state dicts contain only Python ints/strs for the default
+    PCG64 stream, so they round-trip through JSON exactly — which the
+    checkpoint/resume machinery relies on.
+    """
+    return _jsonable(generator.bit_generator.state)
+
+
+def set_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`rng_state`, in place.
+
+    Mutating the bit generator means every component sharing this
+    ``Generator`` object resumes from the restored stream position.
+    """
+    try:
+        generator.bit_generator.state = state
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid RNG state: {exc}") from exc
+
+
 def save_policy_weights(weights, path: PathLike) -> None:
     """Write Q-network weights (as returned by ``get_policy_weights``).
 

@@ -12,6 +12,21 @@ from repro.crowd.pool import AnnotatorPool
 from repro.datasets.synthetic import make_blobs
 
 
+@pytest.fixture(autouse=True)
+def _fresh_policy_cache():
+    """Clear the offline-policy cache around every test.
+
+    A warm cache skips pretraining (and its RNG draws), so leakage across
+    tests would make RL-framework results depend on test execution order
+    and could mask regressions.
+    """
+    from repro.harness.experiment import clear_pretrained_policies
+
+    clear_pretrained_policies()
+    yield
+    clear_pretrained_policies()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)

@@ -1,0 +1,188 @@
+"""Chaos tests: kill-mid-run + resume, and fault-rate survival.
+
+The chaos marker gates these in CI (they run under a seed matrix via
+``REPRO_CHAOS_SEED``); the seed defaults to 0 so local runs are
+deterministic too.
+"""
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.crowd.faults import FaultModel, PlatformWrapper
+from repro.exceptions import CheckpointError
+from repro.harness.checkpoint import load_checkpoint
+from repro.harness.experiment import ExperimentSetting, run_experiment
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+pytestmark = pytest.mark.chaos
+
+
+class KillSwitch(Exception):
+    """Simulated process death (not a ReproError: nothing may catch it)."""
+
+
+class KillAfter(PlatformWrapper):
+    """Platform hook that dies once ``n_answers`` answers went through."""
+
+    def __init__(self, inner, n_answers):
+        super().__init__(inner)
+        self.n_answers = n_answers
+        self.count = 0
+
+    def _check(self):
+        if self.count >= self.n_answers:
+            raise KillSwitch(f"killed after {self.count} answers")
+
+    def ask(self, object_id, annotator_id):
+        self._check()
+        record = self.inner.ask(object_id, annotator_id)
+        self.count += 1
+        return record
+
+    def ask_batch(self, assignments):
+        self._check()
+        records = self.inner.ask_batch(assignments)
+        self.count += len(records)
+        return records
+
+
+def setting(**overrides):
+    kwargs = {"dataset_name": "S12CP", "scale": 0.02, "seed": CHAOS_SEED}
+    kwargs.update(overrides)
+    return ExperimentSetting(**kwargs)
+
+
+def assert_same_run(resumed, baseline):
+    assert resumed.report == baseline.report
+    assert np.array_equal(resumed.outcome.final_labels,
+                          baseline.outcome.final_labels)
+    assert resumed.outcome.spent == baseline.outcome.spent
+    assert resumed.outcome.iterations == baseline.outcome.iterations
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("framework", ["DLTA", "CrowdRL"])
+    @pytest.mark.parametrize("fraction", [0.25, 0.75])
+    def test_killed_run_resumes_bitwise_identical(
+            self, framework, fraction, tmp_path):
+        path = tmp_path / "run.ckpt"
+        counter = []
+        baseline = run_experiment(
+            framework, setting(), pretrain=False,
+            platform_hook=lambda p: counter.append(
+                KillAfter(p, float("inf"))) or counter[0],
+        )
+        # Kill partway through however many answers this seed collects.
+        kill_after = max(1, int(counter[0].count * fraction))
+        with pytest.raises(KillSwitch):
+            run_experiment(
+                framework, setting(), pretrain=False,
+                checkpoint_path=path, checkpoint_every=10,
+                platform_hook=lambda p: KillAfter(p, kill_after),
+            )
+        checkpoint = load_checkpoint(path)
+        # A single batch may overshoot the kill point, so only require a
+        # non-empty journalled prefix.
+        assert checkpoint.n_answers > 0
+        resumed = run_experiment(
+            framework, setting(), pretrain=False,
+            checkpoint_path=path, checkpoint_every=10, resume=True,
+        )
+        assert_same_run(resumed, baseline)
+
+    def test_kill_resume_with_faults_restores_all_streams(self, tmp_path):
+        """Fault clock/outages and breaker counters survive the kill."""
+        path = tmp_path / "faulty.ckpt"
+        baseline = run_experiment(
+            "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
+            faults=0.1,
+        )
+        with pytest.raises(KillSwitch):
+            run_experiment(
+                "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
+                faults=0.1, checkpoint_path=path, checkpoint_every=10,
+                platform_hook=lambda p: KillAfter(p, 40),
+            )
+        resumed = run_experiment(
+            "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
+            faults=0.1, checkpoint_path=path, checkpoint_every=10,
+            resume=True,
+        )
+        assert_same_run(resumed, baseline)
+        assert resumed.outcome.extras["collector"] == \
+            baseline.outcome.extras["collector"]
+
+    def test_completed_run_resumes_from_full_journal(self, tmp_path):
+        """Resuming a finished run replays the whole journal, same result."""
+        path = tmp_path / "done.ckpt"
+        first = run_experiment(
+            "OBA", setting(), pretrain=False,
+            checkpoint_path=path, checkpoint_every=10,
+        )
+        resumed = run_experiment(
+            "OBA", setting(), pretrain=False,
+            checkpoint_path=path, checkpoint_every=10, resume=True,
+        )
+        assert_same_run(resumed, first)
+
+
+class TestFaultSurvival:
+    @pytest.mark.parametrize("rate", [0.05, 0.2])
+    def test_fault_rates_complete_without_unhandled_exceptions(self, rate):
+        result = run_experiment(
+            "DLTA", setting(seed=CHAOS_SEED + 11), pretrain=False,
+            faults=rate,
+        )
+        assert result.report.n_evaluated > 0
+        stats = result.outcome.extras["collector"]
+        if rate >= 0.2:
+            assert sum(stats["faults"].values()) > 0
+
+    def test_flaky_annotator_quarantine_is_logged(self, caplog):
+        # One annotator that times out almost always: the breaker must trip
+        # and say so.  Pool size = n_workers + n_experts = 5.
+        model = FaultModel(5, timeout=[0.95, 0.0, 0.0, 0.0, 0.0],
+                           rng=CHAOS_SEED)
+        with caplog.at_level(logging.WARNING, "repro.crowd.resilient"):
+            result = run_experiment(
+                "DLTA", setting(seed=CHAOS_SEED + 13), pretrain=False,
+                faults=model,
+            )
+        assert 0 in result.outcome.extras["quarantined"]
+        assert any("quarantined annotator 0" in r.message
+                   for r in caplog.records)
+
+
+class TestResumeErrors:
+    def test_resume_without_checkpoint_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            run_experiment("DLTA", setting(), pretrain=False,
+                           checkpoint_path=tmp_path / "missing.ckpt",
+                           resume=True)
+
+    def test_resume_with_wrong_framework(self, tmp_path):
+        path = tmp_path / "dlta.ckpt"
+        run_experiment("DLTA", setting(), pretrain=False,
+                       checkpoint_path=path, checkpoint_every=10)
+        with pytest.raises(CheckpointError):
+            run_experiment("OBA", setting(), pretrain=False,
+                           checkpoint_path=path, resume=True)
+
+    def test_resume_with_wrong_setting(self, tmp_path):
+        path = tmp_path / "dlta.ckpt"
+        run_experiment("DLTA", setting(), pretrain=False,
+                       checkpoint_path=path, checkpoint_every=10)
+        with pytest.raises(CheckpointError):
+            run_experiment("DLTA", setting(seed=CHAOS_SEED + 1),
+                           pretrain=False, checkpoint_path=path,
+                           resume=True)
+
+    def test_malformed_checkpoint(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

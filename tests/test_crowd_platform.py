@@ -75,6 +75,23 @@ class TestAskBatch:
         platform = make_platform_with()
         assert platform.ask_batch([]) == []
 
+    def test_unaffordable_annotator_skipped_not_fatal(self):
+        # Expert (id 3) costs 10, workers cost 1.  With 5 units left the
+        # expert is skipped but the cheap workers queued after it — in the
+        # same and in later assignments — must still be asked.
+        platform = make_platform_with(budget=5.0)
+        records = platform.ask_batch([(0, [3, 0, 1]), (1, [3, 0])])
+        assert [(r.object_id, r.annotator_id) for r in records] == \
+            [(0, 0), (0, 1), (1, 0)]
+
+    def test_stops_only_when_cheapest_unaffordable(self):
+        platform = make_platform_with(budget=2.5)
+        records = platform.ask_batch([(0, [0]), (1, [3]), (2, [0]), (3, [0])])
+        # Two workers affordable; the expert is skipped; the fourth request
+        # finds 0.5 < cheapest_cost() and collection stops.
+        assert len(records) == 2
+        assert all(r.annotator_id == 0 for r in records)
+
 
 class TestConstruction:
     def test_label_range_validated(self):

@@ -91,6 +91,21 @@ class TestRunComparison:
         with pytest.raises(ConfigurationError):
             run_comparison(("OBA",), ExperimentSetting("S12C"), n_seeds=0)
 
+    def test_n_evaluated_comes_from_shared_dataset(self):
+        from repro.datasets.registry import load_dataset
+
+        setting = ExperimentSetting("S12C", scale=0.02, seed=3)
+        reports = run_comparison(("OBA", "DLTA"), setting)
+        expected = load_dataset("S12C", scale=0.02, rng=3).n_objects
+        assert all(r.n_evaluated == expected for r in reports.values())
+
+    def test_n_evaluated_respects_subsample(self):
+        setting = ExperimentSetting("S12C", scale=0.04, subsample=0.5, seed=0)
+        full = ExperimentSetting("S12C", scale=0.04, seed=0)
+        sub = run_comparison(("OBA",), setting)["OBA"]
+        whole = run_comparison(("OBA",), full)["OBA"]
+        assert 0 < sub.n_evaluated < whole.n_evaluated
+
 
 class TestFigures:
     def test_split_pool(self):

@@ -133,6 +133,49 @@ class TestJointInference:
         with pytest.raises(ConfigurationError):
             JointInference(clf, np.zeros(5))
 
+    def test_drifting_annotator_degrades_gracefully(self):
+        """Joint EM survives a worker whose accuracy drifts below chance.
+
+        Drift violates the fixed-confusion-matrix assumption, so no
+        quality-estimate guarantee holds for the drifter — but inference
+        must not crash, must label every object, and the expert floor must
+        still bound the expert's estimated quality.
+        """
+        from repro.crowd.annotator import Annotator, AnnotatorKind
+        from repro.crowd.behaviors import DriftingAnnotator
+        from repro.crowd.confusion import ConfusionMatrix
+        from repro.crowd.pool import AnnotatorPool
+
+        n_objects, seed = 80, 12
+        dataset = make_blobs(n_objects, 6, separation=2.5, rng=seed)
+        streams = np.random.default_rng(seed).spawn(3)
+        annotators = [
+            # Starts fine, decays to far below the 0.5 chance level.
+            DriftingAnnotator(0, 2, start_accuracy=0.6, floor_accuracy=0.2,
+                              decay=0.8, rng=streams[0]),
+            Annotator(annotator_id=1, kind=AnnotatorKind.WORKER,
+                      confusion=ConfusionMatrix.from_accuracy(2, 0.7),
+                      cost=1.0, _rng=streams[1]),
+            Annotator(annotator_id=2, kind=AnnotatorKind.EXPERT,
+                      confusion=ConfusionMatrix.from_accuracy(2, 0.95),
+                      cost=10.0, _rng=streams[2]),
+        ]
+        pool = AnnotatorPool(annotators, 2)
+        platform = CrowdPlatform(dataset.labels, pool, BudgetManager(10.0 ** 9))
+        platform.ask_batch([(i, [0, 1, 2]) for i in range(n_objects)])
+        assert annotators[0].current_accuracy < 0.5  # drift really happened
+
+        answers = {i: platform.history.answers_for(i)
+                   for i in range(n_objects)}
+        joint = make_joint(dataset, platform, expert_floor=0.9)
+        result = joint.infer(answers, 2, len(pool))
+
+        assert sorted(result.labels) == list(range(n_objects))
+        for post in result.posteriors.values():
+            assert post.sum() == pytest.approx(1.0)
+        # The expert lower bound holds even with a misspecified co-worker.
+        assert np.diag(result.confusions[2].matrix).min() >= 0.9 - 1e-9
+
     def test_classifier_clip_tempers_contribution(self):
         """With a tight clip the classifier's E-step term is bounded, so the
         posterior never strays far from the annotator evidence."""
