@@ -1,0 +1,148 @@
+"""Observability-overhead benchmarks.
+
+Not a paper figure — these pin the cost model of :mod:`repro.obs`: under
+the disabled :data:`~repro.obs.NULL_REGISTRY` an instrumented code path
+(phase timers + counter bumps) must stay within **5%** of the same code
+with no instrumentation at all, the acceptance bar the ISSUE sets for
+"disabled compiles to no-ops".  The bound is asserted in-code from
+min-of-repeats timings, so a CI bench run fails outright when the no-op
+path regresses; the pytest-benchmark cases alongside record the same
+paths in the JSON output for trending.
+
+The timed workload is calibrated to the episode path it stands in for:
+one numpy reduction of a few hundred microseconds per iteration — the
+measured weight of the real instrumented phases (``collect`` ~0.25 ms,
+``featurize`` ~0.33 ms, ``q_forward`` ~0.6 ms per call on the reference
+machine) — with the instrumented variant adding one ``phase_timer``
+block and one counter bump per iteration, the framework loop's density.
+A sub-microsecond-body tight loop would overstate the relative overhead
+of instrumentation no real phase has.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    phase_timer,
+    set_registry,
+    use_registry,
+)
+
+#: Acceptance bar: disabled instrumentation overhead stays under 5%.
+MAX_DISABLED_OVERHEAD = 0.05
+
+ITERATIONS = 50
+
+
+@pytest.fixture(autouse=True)
+def _disabled_registry():
+    """Benchmarks run under the default (disabled) registry."""
+    previous = set_registry(None)
+    yield
+    set_registry(previous)
+
+
+def _make_workload():
+    rng = np.random.default_rng(11)
+    # (500, 100) puts one loop body at ~0.2 ms — the weight of the real
+    # instrumented phases (see module docstring).
+    features = rng.random((500, 100))
+    return features
+
+
+def _plain_episode(features: np.ndarray) -> float:
+    """The uninstrumented reference loop (featurize-sized numpy work)."""
+    total = 0.0
+    for _ in range(ITERATIONS):
+        z = features - features.mean(axis=0)
+        total += float(np.abs(z).sum())
+    return total
+
+
+def _instrumented_episode(features: np.ndarray) -> float:
+    """Same loop with the framework's instrumentation density."""
+    total = 0.0
+    for _ in range(ITERATIONS):
+        with phase_timer("featurize"):
+            z = features - features.mean(axis=0)
+            total += float(np.abs(z).sum())
+        get_registry().inc("budget.collect", 1.0)
+    return total
+
+
+def _bare_instrumentation() -> None:
+    """Exactly the per-iteration instrumentation, with an empty body."""
+    with phase_timer("featurize"):
+        pass
+    get_registry().inc("budget.collect", 1.0)
+
+
+def test_disabled_overhead_under_bound():
+    """NULL_REGISTRY instrumentation costs < 5% of one phase body.
+
+    Measured as a *ratio of two separately-timed minima* rather than an
+    end-to-end A/B: on a shared CI box, wall-clock drift between two
+    ~10 ms loop runs (frequency scaling, neighbours) easily exceeds the
+    sub-1% quantity under test, while a tight loop over the bare
+    instrumentation (sub-microsecond per pass) and the calibrated phase
+    body (~0.2 ms per pass) each measure stably.  ``min`` over repeats
+    filters interference; the asserted ratio is the per-phase overhead a
+    real disabled run pays.
+    """
+    features = _make_workload()
+    assert get_registry() is NULL_REGISTRY
+    # Warm both paths (allocator, caches, bytecode) before measuring.
+    _bare_instrumentation()
+    _plain_episode(features)
+    bare = min(timeit.repeat(
+        _bare_instrumentation, number=20_000, repeat=7)) / 20_000
+    body = min(timeit.repeat(
+        lambda: _plain_episode(features), number=2, repeat=7)
+    ) / (2 * ITERATIONS)
+    overhead = bare / body
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-registry overhead {overhead:.2%} exceeds the "
+        f"{MAX_DISABLED_OVERHEAD:.0%} bound "
+        f"(instrumentation {bare * 1e9:.0f} ns per phase vs body "
+        f"{body * 1e6:.1f} us per phase)"
+    )
+
+
+def test_instrumented_results_identical():
+    """Instrumentation must not change the computation itself."""
+    features = _make_workload()
+    assert _plain_episode(features) == _instrumented_episode(features)
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        assert _plain_episode(features) == _instrumented_episode(features)
+    assert reg.counter_value("budget.collect") == ITERATIONS
+
+
+def test_bench_episode_uninstrumented(benchmark):
+    """Baseline: the raw loop, no instrumentation in the source."""
+    benchmark(_plain_episode, _make_workload())
+
+
+def test_bench_episode_disabled_registry(benchmark):
+    """Instrumented loop under NULL_REGISTRY (the default)."""
+    assert get_registry() is NULL_REGISTRY
+    benchmark(_instrumented_episode, _make_workload())
+
+
+def test_bench_episode_enabled_registry(benchmark):
+    """Instrumented loop under a live registry (collection cost)."""
+    features = _make_workload()
+    reg = MetricsRegistry()
+
+    def run():
+        with use_registry(reg):
+            return _instrumented_episode(features)
+
+    benchmark(run)

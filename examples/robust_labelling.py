@@ -66,7 +66,11 @@ def degradation_curve(rates=(0.0, 0.05, 0.1, 0.2, 0.4),
     budget on recovery instead of labels, so accuracy degrades smoothly
     rather than the run crashing.
     """
-    from repro.harness.experiment import ExperimentSetting, run_experiment
+    from repro.harness.experiment import (
+        ExperimentSetting,
+        ExperimentSpec,
+        run_experiment,
+    )
 
     setting = ExperimentSetting("S12CP", scale=0.02, seed=0)
     rows = []
@@ -74,8 +78,9 @@ def degradation_curve(rates=(0.0, 0.05, 0.1, 0.2, 0.4),
         row = [f"{rate:.2f}"]
         recoveries = 0
         for name in frameworks:
-            result = run_experiment(name, setting, pretrain=False,
-                                    faults=rate)
+            result = run_experiment(name, setting,
+                                    ExperimentSpec(faults=rate),
+                                    pretrain=False)
             row.append(result.report.accuracy)
             stats = result.outcome.extras["collector"]
             recoveries += stats["retries"] + stats["reassignments"]

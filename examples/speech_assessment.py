@@ -13,8 +13,10 @@ Run:  python examples/speech_assessment.py
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
+    ExperimentSpec,
     run_experiment,
 )
+from repro.obs import render_report, summarize_snapshot
 from repro.utils.tables import format_table
 
 
@@ -32,9 +34,15 @@ def main() -> None:
         f"(worker answer = 1, teacher answer = 10)\n"
     )
 
+    # metrics=True makes each run return a registry snapshot on
+    # result.metrics (phase timings, counters, budget attribution).
+    spec = ExperimentSpec(metrics=True)
     rows = []
+    crowdrl_metrics = None
     for name in FRAMEWORK_NAMES:
-        result = run_experiment(name, setting)
+        result = run_experiment(name, setting, spec)
+        if name == "CrowdRL":
+            crowdrl_metrics = result.metrics
         report = result.report
         sources = result.outcome.source_counts()
         rows.append([
@@ -56,6 +64,10 @@ def main() -> None:
         "\nReading: CrowdRL should lead on precision/F1 at the same budget "
         "(paper Fig. 4); OBA trails because it trusts single noisy answers."
     )
+
+    if crowdrl_metrics is not None:
+        print("\nwhere CrowdRL's wall time and budget went:")
+        print(render_report(summarize_snapshot(crowdrl_metrics)))
 
 
 if __name__ == "__main__":

@@ -12,16 +12,10 @@ Run:  python examples/truth_inference_comparison.py
 
 import numpy as np
 
-from repro import BudgetManager, make_platform
+from repro import make_platform
 from repro.classifiers.logistic import LogisticRegressionClassifier
 from repro.datasets.synthetic import make_blobs
-from repro.inference import (
-    DawidSkene,
-    GladInference,
-    JointInference,
-    MajorityVote,
-    PMInference,
-)
+from repro.inference import get
 from repro.utils.tables import format_table
 
 
@@ -50,17 +44,21 @@ def main() -> None:
                 [result.labels[i] == truths[i] for i in range(len(truths))]
             ))
 
-        joint = JointInference(
-            LogisticRegressionClassifier(dataset.n_features, 2, l2=0.02),
-            dataset.features,
+        # Every algorithm comes from the string registry (repro.inference.get);
+        # the joint model additionally needs a classifier and the features.
+        joint = get(
+            "joint",
+            classifier=LogisticRegressionClassifier(dataset.n_features, 2,
+                                                    l2=0.02),
+            features=dataset.features,
             expert_mask=platform.pool.expert_mask,
         )
         rows.append([
             redundancy,
-            accuracy(MajorityVote(rng=0).infer(answers, 2, n_ann)),
-            accuracy(DawidSkene().infer(answers, 2, n_ann)),
-            accuracy(PMInference().infer(answers, 2, n_ann)),
-            accuracy(GladInference(max_iter=15).infer(answers, 2, n_ann)),
+            accuracy(get("majority", rng=0).infer(answers, 2, n_ann)),
+            accuracy(get("dawid_skene").infer(answers, 2, n_ann)),
+            accuracy(get("pm").infer(answers, 2, n_ann)),
+            accuracy(get("glad", max_iter=15).infer(answers, 2, n_ann)),
             accuracy(joint.infer(answers, 2, n_ann)),
         ])
 

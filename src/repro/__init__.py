@@ -29,6 +29,8 @@ from repro.crowd.platform import CrowdPlatform
 from repro.crowd.pool import AnnotatorPool
 from repro.datasets.base import LabelledDataset
 from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.inference.base import TruthInference
+from repro.inference.registry import INFERENCE_NAMES, get
 from repro.metrics.classification import ClassificationReport, evaluate_labels
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 
@@ -47,11 +49,36 @@ __all__ = [
     "LabelledDataset",
     "load_dataset",
     "DATASET_NAMES",
+    "TruthInference",
+    "get",
+    "INFERENCE_NAMES",
     "ClassificationReport",
     "evaluate_labels",
     "make_platform",
+    "run_experiment",
+    "ExperimentSpec",
+    "ExperimentSetting",
     "__version__",
 ]
+
+#: Harness names resolved lazily (PEP 562): :mod:`repro.harness.experiment`
+#: itself imports :func:`make_platform` from this package, so importing it
+#: eagerly here would be circular.
+_LAZY_HARNESS = ("run_experiment", "ExperimentSpec", "ExperimentSetting")
+
+
+def __getattr__(name: str):
+    """Lazily expose the harness entry points (see ``_LAZY_HARNESS``)."""
+    if name in _LAZY_HARNESS:
+        from repro.harness import experiment
+
+        return getattr(experiment, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    """Include the lazy harness names in ``dir(repro)``."""
+    return sorted(set(globals()) | set(_LAZY_HARNESS))
 
 
 def make_platform(

@@ -18,9 +18,10 @@ from repro.core.action import Assignment
 from repro.core.config import CrowdRLConfig
 from repro.core.state import N_PAIR_FEATURES, LabellingState
 from repro.exceptions import ConfigurationError
+from repro.obs import phase_timer
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.selection import ActionStatistics
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.topk import select_objects_by_topk_q
 
 
@@ -53,7 +54,12 @@ class Agent:
             rng=rng,
         )
         self.stats = ActionStatistics(n_objects * n_annotators)
-        self._rng = rng
+        # The agent's own draws (tie-break jitter, demonstration noise,
+        # random-ablation choices, next-state subsampling) come from a
+        # child stream, so they never interleave with the DQN's replay
+        # sampling on the parent generator — adding or removing a jitter
+        # draw cannot perturb what the replay buffer serves.
+        (self._rng,) = spawn_rngs(rng, 1)
 
     # ------------------------------------------------------------------
     # Acting
@@ -67,7 +73,10 @@ class Agent:
         """
         tensor = state.feature_tensor()
         flat = tensor.reshape(-1, N_PAIR_FEATURES)
-        q = self.dqn.q_values(flat).reshape(self.n_objects, self.n_annotators)
+        with phase_timer("q_forward"):
+            q = self.dqn.q_values(flat).reshape(
+                self.n_objects, self.n_annotators
+            )
         mask = state.action_mask()
         q = np.where(mask, q, -np.inf)
         return q
@@ -84,7 +93,7 @@ class Agent:
             bonus = self.stats.bonus().reshape(self.n_objects, self.n_annotators)
             # Cap the infinite never-tried bonus so -inf masks always win and
             # scores stay comparable with Q-values (reward scale is ~1).
-            bonus = np.minimum(bonus, 2.0)
+            bonus = np.minimum(bonus, self.config.ucb_bonus_cap)
             score = np.where(np.isfinite(q), q + bonus, -np.inf)
         else:
             score = q
@@ -92,21 +101,24 @@ class Agent:
         # every untried pair carries the same capped bonus); without it the
         # argmax systematically favours low annotator ids and the agent
         # never explores the expert columns.
-        jitter = self._rng.normal(scale=1e-3, size=score.shape)
-        score = np.where(np.isfinite(score), score + jitter, score)
+        if self.config.tie_jitter_scale > 0:
+            jitter = self._rng.normal(scale=self.config.tie_jitter_scale,
+                                      size=score.shape)
+            score = np.where(np.isfinite(score), score + jitter, score)
 
         if (self.config.demo_probability > 0
                 and self._rng.random() < self.config.demo_probability):
             score = self._demonstration_scores(state)
 
         group_mask, max_group = self._expert_cap(state)
-        if self.config.ts_mode == "random":
-            selected = self._random_ts(state, score)
-        else:
-            selected = select_objects_by_topk_q(
-                score, self.config.k_per_object, self.config.batch_size,
-                group_mask=group_mask, max_group=max_group,
-            )
+        with phase_timer("select"):
+            if self.config.ts_mode == "random":
+                selected = self._random_ts(state, score)
+            else:
+                selected = select_objects_by_topk_q(
+                    score, self.config.k_per_object, self.config.batch_size,
+                    group_mask=group_mask, max_group=max_group,
+                )
 
         assignments = []
         for object_id, annotator_ids in selected:
@@ -137,7 +149,10 @@ class Agent:
         obj_entropy = state.object_features()[:, 5]
         quality = state.annotator_features()[:, 1]
         score = obj_entropy[:, None] + 0.4 * quality[None, :]
-        score = score + self._rng.normal(scale=1e-3, size=score.shape)
+        if self.config.tie_jitter_scale > 0:
+            score = score + self._rng.normal(
+                scale=self.config.tie_jitter_scale, size=score.shape
+            )
         return np.where(state.action_mask(), score, -np.inf)
 
     def _random_ts(self, state: LabellingState,
@@ -227,7 +242,8 @@ class Agent:
 
     def train(self) -> list[float]:
         """Run the configured number of replayed DQN updates."""
-        return self.dqn.train(self.config.train_steps_per_iteration)
+        with phase_timer("dqn_train"):
+            return self.dqn.train(self.config.train_steps_per_iteration)
 
     # ------------------------------------------------------------------
     # Cross-training support (Section VI-A4)

@@ -68,6 +68,16 @@ class CrowdRLConfig:
     ucb_exploration:
         Use the Eq. 6 UCB1 bonus for action selection; plain greedy when
         False.
+    ucb_bonus_cap:
+        Ceiling on the UCB1 bonus.  Never-tried pairs carry an infinite
+        bonus; capping keeps ``-inf`` action masks decisive and the bonus
+        comparable with the ~1-scale rewards.  Raise it to explore harder,
+        lower it toward 0 to trust the Q-values sooner.
+    tie_jitter_scale:
+        Standard deviation of the Gaussian jitter that breaks score ties
+        (ubiquitous early on, when every untried pair carries the same
+        capped bonus).  ``0`` disables the jitter — and its RNG draw —
+        entirely, making the argmax deterministic given equal scores.
     min_labels_for_classifier:
         Labelled-set size below which ``phi`` is not trained (enrichment
         and the classifier E-step term are skipped).
@@ -130,6 +140,8 @@ class CrowdRLConfig:
     double_dqn: bool = False
     prioritized_replay: bool = False
     ucb_exploration: bool = True
+    ucb_bonus_cap: float = 2.0
+    tie_jitter_scale: float = 1e-3
     next_state_sample: int = 64
     min_labels_for_classifier: int = 8
     min_truths_for_enrichment: int = 20
@@ -206,4 +218,12 @@ class CrowdRLConfig:
         if self.next_state_sample <= 0:
             raise ConfigurationError(
                 f"next_state_sample must be > 0, got {self.next_state_sample}"
+            )
+        if self.ucb_bonus_cap <= 0:
+            raise ConfigurationError(
+                f"ucb_bonus_cap must be > 0, got {self.ucb_bonus_cap}"
+            )
+        if self.tie_jitter_scale < 0:
+            raise ConfigurationError(
+                f"tie_jitter_scale must be >= 0, got {self.tie_jitter_scale}"
             )

@@ -23,6 +23,7 @@ from repro.inference.base import InferenceResult
 from repro.inference.joint import JointInference
 from repro.inference.majority import MajorityVote
 from repro.inference.pm import PMInference
+from repro.obs import phase_timer
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -71,6 +72,11 @@ class Environment:
         Falls back to majority voting while the labelled set is too small
         to train the classifier (the joint model needs a usable ``phi``).
         """
+        with phase_timer("infer"):
+            return self._infer_truths()
+
+    def _infer_truths(self) -> InferenceResult:
+        """Untimed body of :meth:`infer_truths`."""
         history = self.platform.history
         answered = history.answered_objects()
         answers = {int(i): history.answers_for(int(i)) for i in answered}
@@ -130,6 +136,11 @@ class Environment:
         recomputed from the freshly trained classifier, so early mistakes
         heal as ``phi`` improves.
         """
+        with phase_timer("enrich"):
+            return self._train_and_enrich()
+
+    def _train_and_enrich(self) -> list[int]:
+        """Untimed body of :meth:`train_and_enrich`."""
         if not self.config.sticky_enrichment:
             self.enriched.clear()
         if len(self.truths) < self.config.min_truths_for_enrichment:
@@ -151,7 +162,8 @@ class Environment:
             self.classifier = self.config.classifier_factory(
                 self.features.shape[1], self.platform.n_classes, self._rng
             )
-            self.classifier.fit(self.features[ids], y)
+            with phase_timer("retrain"):
+                self.classifier.fit(self.features[ids], y)
 
         unlabelled = [
             i for i in range(self.platform.n_objects) if i not in labelled

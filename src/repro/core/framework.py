@@ -30,6 +30,7 @@ from repro.core.state import LabellingState
 from repro.crowd.platform import CrowdPlatform
 from repro.datasets.base import LabelledDataset
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry, phase_timer
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -198,8 +199,12 @@ class CrowdRL(LabellingFramework):
             # information-gain shaping term.
             entropy_before = obj_feats[:, 5]
             ledger_start = platform.budget.ledger_length
-            records = platform.ask_batch(
-                (a.object_id, list(a.annotator_ids)) for a in assignments
+            with phase_timer("collect"):
+                records = platform.ask_batch(
+                    (a.object_id, list(a.annotator_ids)) for a in assignments
+                )
+            get_registry().inc(
+                "budget.collect", platform.budget.iteration_cost(ledger_start)
             )
             if not records:
                 break  # could not afford a single answer
@@ -331,4 +336,11 @@ class CrowdRL(LabellingFramework):
         value = qualities / costs
         k = min(config.k_per_object, len(platform.pool))
         preferred = np.argsort(-value, kind="stable")[:k]
-        platform.ask_batch((int(i), [int(j) for j in preferred]) for i in chosen)
+        spent_before = platform.budget.spent
+        with phase_timer("initial_sample"):
+            platform.ask_batch(
+                (int(i), [int(j) for j in preferred]) for i in chosen
+            )
+        get_registry().inc(
+            "budget.initial_sample", platform.budget.spent - spent_before
+        )

@@ -28,6 +28,7 @@ from repro.crowd.cost import BudgetManager
 from repro.crowd.history import UNANSWERED, LabellingHistory
 from repro.crowd.pool import AnnotatorPool
 from repro.exceptions import ConfigurationError
+from repro.obs import phase_timer
 
 #: Featurization width; the Q-network's input size.
 N_OBJECT_FEATURES = 6
@@ -182,6 +183,11 @@ class LabellingState:
         Built by broadcasting the three blocks, so the cost is
         ``O(|O| + |W|)`` feature computations, not ``O(|O||W|)``.
         """
+        with phase_timer("featurize"):
+            return self._feature_tensor()
+
+    def _feature_tensor(self) -> np.ndarray:
+        """Untimed body of :meth:`feature_tensor`."""
         obj = self.object_features()
         ann = self.annotator_features()
         glob = self.global_features()

@@ -48,6 +48,7 @@ from repro.exceptions import (
     ConfigurationError,
     FaultError,
 )
+from repro.obs import get_registry
 from repro.utils.rng import SeedLike, as_rng
 
 logger = logging.getLogger("repro.crowd.resilient")
@@ -231,6 +232,7 @@ class ResilientCollector(PlatformWrapper):
             candidate = self._reassign(object_id, tried)
             if candidate is not None:
                 self.stats.reassignments += 1
+                get_registry().inc("collect.reassignments")
         while candidate is not None:
             record = self._attempt_with_retries(object_id, candidate)
             if record is not None:
@@ -239,6 +241,7 @@ class ResilientCollector(PlatformWrapper):
             candidate = self._reassign(object_id, tried)
             if candidate is not None:
                 self.stats.reassignments += 1
+                get_registry().inc("collect.reassignments")
         return None
 
     def _attempt_with_retries(self, object_id: int,
@@ -254,6 +257,7 @@ class ResilientCollector(PlatformWrapper):
                 if (attempt < self.policy.max_retries
                         and annotator_id not in self._quarantined):
                     self.stats.retries += 1
+                    get_registry().inc("collect.retries")
                     self._backoff(attempt)
                     continue
                 return None
@@ -297,6 +301,7 @@ class ResilientCollector(PlatformWrapper):
                 2.0 * self._rng.random() - 1.0
             )
         self.stats.simulated_wait += wait
+        get_registry().inc("collect.backoff_wait_s", wait)
 
     def _record_success(self, annotator_id: int) -> None:
         self._attempts[annotator_id] += 1
@@ -305,6 +310,7 @@ class ResilientCollector(PlatformWrapper):
         self._attempts[annotator_id] += 1
         self._failures[annotator_id] += 1
         self.stats.faults[kind] = self.stats.faults.get(kind, 0) + 1
+        get_registry().inc(f"collect.faults.{kind}")
         if not self.policy.quarantine_enabled:
             return
         if annotator_id in self._quarantined:
@@ -316,6 +322,7 @@ class ResilientCollector(PlatformWrapper):
         if rate >= self.policy.failure_threshold:
             self._quarantined.add(annotator_id)
             self.stats.quarantine_events.append((annotator_id, rate, attempts))
+            get_registry().inc("collect.breaker_trips")
             logger.warning(
                 "quarantined annotator %d: failure rate %.2f over %d "
                 "attempts (threshold %.2f)",

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
+    ExperimentSpec,
     run_experiment,
 )
 from repro.harness.figures import fig4, fig5, fig6, fig7, fig8
@@ -88,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--resume", action="store_true",
         help="resume the run journalled at --checkpoint")
+    run_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect phase timings / counters and print a summary")
+    run_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics JSONL event log to PATH (implies "
+             "--metrics); render with `python -m repro.obs report PATH`")
     return parser
 
 
@@ -119,15 +127,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         alpha=args.alpha,
         seed=args.seed,
     )
-    resilient = False if args.no_resilient else None
-    result = run_experiment(
-        args.framework, setting,
+    spec = ExperimentSpec(
         faults=args.faults,
-        resilient=resilient,
+        resilient=False if args.no_resilient else None,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        metrics=True if (args.metrics or args.metrics_out) else None,
+        metrics_out=args.metrics_out,
     )
+    result = run_experiment(args.framework, setting, spec)
     report = result.report
     print(f"framework : {args.framework}")
     print(f"dataset   : {args.dataset} (n={report.n_evaluated})")
@@ -145,6 +154,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"quarantined={quarantined}")
     print(f"precision={report.precision:.3f} recall={report.recall:.3f} "
           f"f1={report.f1:.3f} accuracy={report.accuracy:.3f}")
+    if result.metrics is not None:
+        from repro.obs import render_report, summarize_snapshot
+
+        print()
+        print(render_report(summarize_snapshot(result.metrics)))
+    if args.metrics_out is not None:
+        print(f"metrics   : event log written to {args.metrics_out}")
     return 0
 
 

@@ -8,6 +8,7 @@ framework differs, so metric gaps are attributable to the framework.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Optional, Union
 
@@ -30,6 +31,14 @@ from repro.harness.checkpoint import (
     load_checkpoint,
 )
 from repro.metrics.classification import ClassificationReport
+from repro.obs import (
+    JsonlEventLog,
+    MetricsRegistry,
+    get_registry,
+    make_registry,
+    metrics_enabled_by_default,
+    use_registry,
+)
 from repro.utils.rng import as_rng
 
 #: Every runnable framework, in the paper's reporting order.
@@ -70,6 +79,71 @@ class ExperimentSetting:
 
 
 @dataclass
+class ExperimentSpec:
+    """How a run executes: faults, resilience, checkpointing, metrics.
+
+    :class:`ExperimentSetting` says *what* is labelled (dataset, pool,
+    budget, seed); the spec says *how* the run is executed around the
+    framework — the knobs that accreted onto ``run_experiment`` as
+    keyword arguments (``faults``, ``resilient``, ``checkpoint_path`` /
+    ``checkpoint_every`` / ``resume``, ``platform_hook``, and now
+    ``metrics`` / ``metrics_out``).  Passing those kwargs directly still
+    works for one release but raises a :class:`DeprecationWarning`;
+    build a spec instead::
+
+        spec = ExperimentSpec(faults=0.2, metrics=True)
+        result = run_experiment("CrowdRL", setting, spec)
+
+    Attributes
+    ----------
+    faults:
+        Inject annotator failures — a ready :class:`FaultModel` or a
+        float per-request rate (expanded via :meth:`FaultModel.from_rate`
+        with a seed derived from the setting).
+    resilient:
+        Wrap collection in a :class:`ResilientCollector` (retry /
+        reassign / quarantine).  Defaults to on whenever faults are
+        injected; a :class:`ResiliencePolicy` tunes it, ``False``
+        exposes the framework to the raw faults.
+    checkpoint_path / checkpoint_every / resume:
+        Journal the run every ``checkpoint_every`` answers; with
+        ``resume=True`` restart from the journal, bit-for-bit identical
+        to an uninterrupted run (:mod:`repro.harness.checkpoint`).
+    platform_hook:
+        Applied to the fully wrapped platform before the run (the chaos
+        tests inject process kills through it).
+    metrics:
+        ``True`` collects metrics into a fresh
+        :class:`~repro.obs.MetricsRegistry`; a registry instance collects
+        into that; ``False`` disables collection; ``None`` (default)
+        defers to ``metrics_out``, the ``REPRO_METRICS`` environment
+        switch, or any ambient registry installed with
+        :func:`repro.obs.use_registry`.
+    metrics_out:
+        Write the run's JSONL event log (phase events + final snapshot)
+        here; implies metrics collection.  Render it with
+        ``python -m repro.obs report``.
+    """
+
+    faults: Union[None, float, FaultModel] = None
+    resilient: Union[None, bool, ResiliencePolicy] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 50
+    resume: bool = False
+    platform_hook: Optional[Callable] = None
+    metrics: Union[None, bool, MetricsRegistry] = None
+    metrics_out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be > 0, got {self.checkpoint_every}"
+            )
+        if self.resume and self.checkpoint_path is None:
+            raise ConfigurationError("resume=True requires checkpoint_path")
+
+
+@dataclass
 class RunResult:
     """One framework's outcome on one setting."""
 
@@ -77,6 +151,9 @@ class RunResult:
     setting: ExperimentSetting
     outcome: LabellingOutcome
     report: ClassificationReport
+    #: Metrics snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`) when
+    #: the run collected metrics; ``None`` otherwise.
+    metrics: Optional[dict] = None
 
 
 def make_framework(name: str, setting: ExperimentSetting,
@@ -158,18 +235,69 @@ def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
     _PRETRAINED_POLICIES[key] = framework._pretrained_weights
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
+_UNSET = object()
+
+
+def _coerce_spec(spec: Optional[ExperimentSpec],
+                 legacy: dict) -> ExperimentSpec:
+    """Merge deprecated per-kwarg options into a spec (or pass one through)."""
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if passed:
+        if spec is not None:
+            raise ConfigurationError(
+                f"pass options through ExperimentSpec *or* legacy kwargs, "
+                f"not both (got spec plus {sorted(passed)})"
+            )
+        warnings.warn(
+            f"run_experiment kwargs {sorted(passed)} are deprecated; pass "
+            f"run_experiment(name, setting, ExperimentSpec(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ExperimentSpec(**passed)
+    return spec if spec is not None else ExperimentSpec()
+
+
+def _resolve_metrics(spec: ExperimentSpec):
+    """The (registry, event_log) pair a spec asks for; (None, None) = off.
+
+    ``metrics=None`` with no ``metrics_out`` defers to the
+    ``REPRO_METRICS`` environment switch; when that is off too, the run
+    simply records into whatever ambient registry is active (usually the
+    no-op :data:`repro.obs.NULL_REGISTRY`).
+    """
+    metrics = spec.metrics
+    if metrics is None:
+        metrics = spec.metrics_out is not None or metrics_enabled_by_default()
+    if metrics is False:
+        return None, None
+    events = (
+        JsonlEventLog(spec.metrics_out) if spec.metrics_out is not None
+        else None
+    )
+    if isinstance(metrics, MetricsRegistry):
+        if events is not None and metrics.events is None:
+            metrics.events = events
+        return metrics, events if events is not None else metrics.events
+    return make_registry(events=events), events
+
+
 def run_experiment(
     framework_name: str,
     setting: ExperimentSetting,
+    spec: Optional[ExperimentSpec] = None,
     *,
     dataset: Optional[LabelledDataset] = None,
     pretrain: bool = True,
-    faults: Union[None, float, FaultModel] = None,
-    resilient: Union[None, bool, ResiliencePolicy] = None,
-    checkpoint_path: Optional[str] = None,
-    checkpoint_every: int = 50,
-    resume: bool = False,
-    platform_hook: Optional[Callable] = None,
+    faults: Union[None, float, FaultModel] = _UNSET,
+    resilient: Union[None, bool, ResiliencePolicy] = _UNSET,
+    checkpoint_path: Optional[str] = _UNSET,
+    checkpoint_every: int = _UNSET,
+    resume: bool = _UNSET,
+    platform_hook: Optional[Callable] = _UNSET,
+    metrics: Union[None, bool, MetricsRegistry] = _UNSET,
+    metrics_out: Optional[str] = _UNSET,
 ) -> RunResult:
     """Run one framework on one setting and score it.
 
@@ -179,29 +307,65 @@ def run_experiment(
     pools.  RL-based frameworks get one offline cross-training episode
     first (Section VI-A4) unless ``pretrain=False``.
 
-    Fault tolerance:
+    Execution options — fault injection, resilient collection,
+    checkpoint/resume, platform hooks and metrics — are carried by
+    ``spec`` (see :class:`ExperimentSpec`).  The corresponding keyword
+    arguments are deprecated aliases kept for one release; passing any of
+    them raises a :class:`DeprecationWarning` and is mutually exclusive
+    with ``spec``.
 
-    * ``faults`` injects annotator failures — pass a ready
-      :class:`FaultModel` or a float rate (expanded via
-      :meth:`FaultModel.from_rate` with a seed derived from the setting).
-    * ``resilient`` wraps collection in a :class:`ResilientCollector`
-      (retry / reassign / quarantine).  Defaults to on whenever faults are
-      injected; pass a :class:`ResiliencePolicy` to tune it or ``False``
-      to watch the framework face the raw faults.
-    * ``checkpoint_path`` journals the run there every
-      ``checkpoint_every`` answers; with ``resume=True`` the run restarts
-      from that journal and finishes bit-for-bit identical to an
-      uninterrupted run (see :mod:`repro.harness.checkpoint`).
-    * ``platform_hook`` is applied to the fully wrapped platform before
-      the run — the chaos tests use it to inject process kills.
+    When the spec enables metrics, the run's registry snapshot lands on
+    :attr:`RunResult.metrics` and — with ``metrics_out`` — a JSONL event
+    log (phase events, run lifecycle, final snapshot) is flushed
+    atomically to disk for ``python -m repro.obs report``.
     """
+    spec = _coerce_spec(spec, {
+        "faults": faults,
+        "resilient": resilient,
+        "checkpoint_path": checkpoint_path,
+        "checkpoint_every": checkpoint_every,
+        "resume": resume,
+        "platform_hook": platform_hook,
+        "metrics": metrics,
+        "metrics_out": metrics_out,
+    })
+    registry, events = _resolve_metrics(spec)
+    if registry is None:
+        return _run_experiment(framework_name, setting, spec,
+                               dataset=dataset, pretrain=pretrain)
+    with use_registry(registry):
+        if events is not None:
+            events.emit("run_start", framework=framework_name,
+                        setting=asdict(setting))
+        result = _run_experiment(framework_name, setting, spec,
+                                 dataset=dataset, pretrain=pretrain)
+        registry.set_gauge("budget.total", result.outcome.budget)
+        registry.set_gauge("budget.spent", result.outcome.spent)
+        registry.set_gauge("iterations", result.outcome.iterations)
+        snapshot = registry.snapshot()
+        result.metrics = snapshot
+        if events is not None:
+            events.emit("run_end", framework=framework_name,
+                        spent=result.outcome.spent,
+                        iterations=result.outcome.iterations,
+                        accuracy=result.report.accuracy)
+            events.emit("snapshot", metrics=snapshot)
+            events.close()
+    return result
+
+
+def _run_experiment(
+    framework_name: str,
+    setting: ExperimentSetting,
+    spec: ExperimentSpec,
+    *,
+    dataset: Optional[LabelledDataset],
+    pretrain: bool,
+) -> RunResult:
+    """The metrics-agnostic run body behind :func:`run_experiment`."""
     checkpoint = None
-    if resume:
-        if checkpoint_path is None:
-            raise ConfigurationError(
-                "resume=True requires checkpoint_path"
-            )
-        checkpoint = load_checkpoint(checkpoint_path)
+    if spec.resume:
+        checkpoint = load_checkpoint(spec.checkpoint_path)
         if checkpoint.framework != framework_name:
             raise CheckpointError(
                 f"checkpoint holds a {checkpoint.framework!r} run, cannot "
@@ -225,32 +389,35 @@ def run_experiment(
     )
     platform = base_platform
     fault_model: Optional[FaultModel] = None
-    if faults is not None:
+    if spec.faults is not None:
         fault_model = (
-            faults if isinstance(faults, FaultModel)
+            spec.faults if isinstance(spec.faults, FaultModel)
             else FaultModel.from_rate(
-                len(base_platform.pool), float(faults),
+                len(base_platform.pool), float(spec.faults),
                 rng=setting.seed + 3000,
             )
         )
         platform = UnreliablePlatform(platform, fault_model)
     collector: Optional[ResilientCollector] = None
     use_collector = (
-        resilient if isinstance(resilient, bool)
-        else resilient is not None or fault_model is not None
+        spec.resilient if isinstance(spec.resilient, bool)
+        else spec.resilient is not None or fault_model is not None
     )
     if use_collector:
-        policy = resilient if isinstance(resilient, ResiliencePolicy) else None
+        policy = (
+            spec.resilient if isinstance(spec.resilient, ResiliencePolicy)
+            else None
+        )
         collector = ResilientCollector(
             platform, policy=policy, rng=setting.seed + 4000
         )
         platform = collector
     framework_rng = as_rng(setting.seed + 2000)
     framework = make_framework(framework_name, setting, framework_rng)
-    if checkpoint_path is not None:
+    if spec.checkpoint_path is not None:
         platform = CheckpointRecorder(
             platform,
-            checkpoint_path,
+            spec.checkpoint_path,
             framework=framework_name,
             setting=asdict(setting),
             restore=RestoreTargets(
@@ -259,13 +426,22 @@ def run_experiment(
                 fault_model=fault_model,
                 collector=collector,
             ),
-            every=checkpoint_every,
+            every=spec.checkpoint_every,
             resume_from=checkpoint,
         )
-    if platform_hook is not None:
-        platform = platform_hook(platform)
+    if spec.platform_hook is not None:
+        platform = spec.platform_hook(platform)
     if pretrain and framework_name in _RL_FRAMEWORKS:
         _cross_train(framework, setting)
+    # Offline cross-training episodes run on their *own* platforms but
+    # attribute their spend to the same budget.* counters; record that
+    # share so reports can separate it from the evaluation run's books.
+    registry = get_registry()
+    registry.set_gauge(
+        "budget.pretrain",
+        registry.counter_value("budget.collect")
+        + registry.counter_value("budget.initial_sample"),
+    )
     outcome = framework.run(dataset, platform)
     if collector is not None:
         outcome.extras["collector"] = collector.stats.as_dict()

@@ -25,9 +25,12 @@ from repro.inference.ingest import (
     answers_to_matrix,
 )
 from repro.inference.pm import PMInference
+from repro.inference.registry import INFERENCE_NAMES, get
 from repro.inference.zencrowd import ZenCrowd
 
 __all__ = [
+    "INFERENCE_NAMES",
+    "get",
     "answers_from_matrix",
     "answers_from_records",
     "answers_to_matrix",

@@ -28,6 +28,7 @@ from repro.classifiers.base import Classifier
 from repro.crowd.confusion import ConfusionMatrix
 from repro.exceptions import ConfigurationError
 from repro.inference.base import AnswerMap, InferenceResult, TruthInference
+from repro.obs import get_registry, phase_timer
 
 
 @shaped(counts="(n_annotators, n_classes, n_classes)")
@@ -192,49 +193,59 @@ class JointInference(TruthInference):
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
             # ---- M-step ----
-            # (a) Annotator confusion matrices from soft counts.
-            counts = np.full(
-                (n_annotators, n_classes, n_classes), self.smoothing
-            )
-            prior_mass = np.full(n_classes, self.smoothing)
-            for row, oid in enumerate(object_ids):
-                prior_mass += post[row]
-                for annotator_id, answer in answers[oid].items():
-                    counts[annotator_id, :, answer] += post[row]
-            confusions = _m_step_confusions(counts)
-            if self.learn_prior:
-                prior = prior_mass / prior_mass.sum()
+            with phase_timer("infer.m_step"):
+                # (a) Annotator confusion matrices from soft counts.
+                counts = np.full(
+                    (n_annotators, n_classes, n_classes), self.smoothing
+                )
+                prior_mass = np.full(n_classes, self.smoothing)
+                for row, oid in enumerate(object_ids):
+                    prior_mass += post[row]
+                    for annotator_id, answer in answers[oid].items():
+                        counts[annotator_id, :, answer] += post[row]
+                confusions = _m_step_confusions(counts)
+                if self.learn_prior:
+                    prior = prior_mass / prior_mass.sum()
 
-            # (b) Expert-quality bounding (Section V-A2).
-            if self.expert_mask is not None:
-                for j in range(n_annotators):
-                    if self.expert_mask[j]:
-                        bounded = ConfusionMatrix(confusions[j]).with_quality_floor(
-                            self.expert_floor
-                        )
-                        confusions[j] = bounded.matrix
+                # (b) Expert-quality bounding (Section V-A2).
+                if self.expert_mask is not None:
+                    for j in range(n_annotators):
+                        if self.expert_mask[j]:
+                            bounded = ConfusionMatrix(
+                                confusions[j]
+                            ).with_quality_floor(self.expert_floor)
+                            confusions[j] = bounded.matrix
 
             # (c) Retrain the classifier on the soft posteriors.
             if self.classifier_weight > 0 and iteration % self.refit_every == 0:
-                self.classifier.fit_soft(x, post.copy())
-                self.fitted_classifier = self.classifier
-                proba = np.clip(
-                    self.classifier.predict_proba(x),
-                    1.0 - self.classifier_clip,
-                    self.classifier_clip,
-                )
-                clf_log = self.classifier_weight * np.log(proba)
+                with phase_timer("infer.refit"):
+                    self.classifier.fit_soft(x, post.copy())
+                    self.fitted_classifier = self.classifier
+                    proba = np.clip(
+                        self.classifier.predict_proba(x),
+                        1.0 - self.classifier_clip,
+                        self.classifier_clip,
+                    )
+                    clf_log = self.classifier_weight * np.log(proba)
 
             # ---- E-step ----
-            new_post = _e_step_posteriors(
-                answers, object_ids, prior, clf_log, confusions
-            )
+            with phase_timer("infer.e_step"):
+                new_post = _e_step_posteriors(
+                    answers, object_ids, prior, clf_log, confusions
+                )
             max_delta = float(np.abs(new_post - post).max())
             post = new_post
 
             if max_delta < self.tol:
                 converged = True
                 break
+
+        registry = get_registry()
+        registry.inc("infer.em_sweeps", iteration)
+        if converged:
+            registry.inc("infer.em_converged")
+        else:
+            registry.inc("infer.em_hit_max_iter")
 
         posteriors = {oid: post[row] for row, oid in enumerate(object_ids)}
         seen = {

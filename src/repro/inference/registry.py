@@ -1,0 +1,56 @@
+"""Name-based truth-inference registry.
+
+``get("dawid_skene")`` returns a ready :class:`TruthInference` instance,
+mirroring :mod:`repro.datasets.registry` — the string names are stable
+identifiers for experiment configs, CLI flags and comparison scripts.
+Constructor arguments pass through ``get`` as keyword arguments, so
+algorithms with required state (``joint`` needs ``classifier`` and
+``features``; ``weighted_majority`` needs ``weights``) stay reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.inference.base import TruthInference
+from repro.inference.catd import CATDInference
+from repro.inference.dawid_skene import DawidSkene
+from repro.inference.glad import GladInference
+from repro.inference.joint import JointInference
+from repro.inference.majority import MajorityVote, WeightedMajorityVote
+from repro.inference.pm import PMInference
+from repro.inference.zencrowd import ZenCrowd
+
+_REGISTRY: Dict[str, Callable[..., TruthInference]] = {
+    "majority": MajorityVote,
+    "weighted_majority": WeightedMajorityVote,
+    "dawid_skene": DawidSkene,
+    "pm": PMInference,
+    "glad": GladInference,
+    "zencrowd": ZenCrowd,
+    "catd": CATDInference,
+    "joint": JointInference,
+}
+
+#: Every registered truth-inference algorithm name, in substrate order.
+INFERENCE_NAMES = tuple(_REGISTRY)
+
+
+def get(name: str, **kwargs) -> TruthInference:
+    """Instantiate a truth-inference algorithm by name (case-insensitive).
+
+    ``kwargs`` forward to the algorithm's constructor, e.g.
+    ``get("dawid_skene", max_iter=50)`` or
+    ``get("joint", classifier=clf, features=x)``.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown inference algorithm {name!r}; available: "
+            f"{', '.join(INFERENCE_NAMES)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+__all__ = ["INFERENCE_NAMES", "get"]

@@ -1,0 +1,60 @@
+"""Observability: metrics registry, phase timers, JSONL event log.
+
+The substrate behind ``run_experiment(..., metrics=...)``, the
+``--metrics/--metrics-out`` CLI flags and ``python -m repro.obs report``:
+
+* :class:`MetricsRegistry` — process-local counters, gauges and
+  fixed-bucket histograms whose snapshots are deterministic;
+* :func:`phase_timer` — context manager / decorator timing one named
+  phase of the episode path into the active registry;
+* :class:`JsonlEventLog` — structured run events with atomic flush
+  (write-temp-then-rename, the checkpoint convention).
+
+A disabled registry (:data:`NULL_REGISTRY`, the default) turns every
+instrumentation point into a no-op — same philosophy as
+``REPRO_CONTRACTS=0`` — so uninstrumented-speed runs stay the default;
+``benchmarks/bench_obs.py`` pins the residual overhead under 5%.
+"""
+
+from repro.obs.events import JsonlEventLog, read_events
+from repro.obs.registry import (
+    DEFAULT_TIME_EDGES,
+    NULL_REGISTRY,
+    Counter,
+    CountingClock,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    PhaseStat,
+    get_registry,
+    make_registry,
+    metrics_enabled_by_default,
+    phase_timer,
+    set_registry,
+    use_registry,
+)
+from repro.obs.report import load_summary, render_report, summarize_snapshot
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseStat",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "CountingClock",
+    "DEFAULT_TIME_EDGES",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "phase_timer",
+    "make_registry",
+    "metrics_enabled_by_default",
+    "JsonlEventLog",
+    "read_events",
+    "load_summary",
+    "render_report",
+    "summarize_snapshot",
+]

@@ -1,0 +1,55 @@
+"""Command-line front end: ``python -m repro.obs``.
+
+Subcommands::
+
+    python -m repro.obs report metrics.jsonl            # per-phase table
+    python -m repro.obs report metrics.jsonl --format json
+
+``report`` renders the per-phase wall-time / call-count / budget table
+from a metrics JSONL file written by ``run_experiment(...,
+metrics_out=...)`` (see :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.obs.report import load_summary, render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Observability tooling for CrowdRL runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="summarise a metrics JSONL file per phase"
+    )
+    report.add_argument("path", help="metrics .jsonl file to summarise")
+    report.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        summary = load_summary(args.path)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_report(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""JSONL event log with atomic flush.
+
+Structured run events (phase completions, run lifecycle, metric
+snapshots) accumulate in memory and flush to a ``.jsonl`` file — one JSON
+object per line, each carrying a monotonically increasing ``seq`` — using
+the same write-temp-then-``os.replace`` convention as the checkpoint
+layer (:mod:`repro.harness.checkpoint`): a process killed mid-flush
+leaves the previous complete file intact, never a torn line.
+
+The file is rewritten in full on each flush (runs emit thousands of
+events, not millions), which keeps flushes atomic without append-mode
+bookkeeping.  :func:`read_events` is the matching reader the
+``python -m repro.obs report`` subcommand uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    """Best-effort conversion to JSON-safe types (numpy scalars/arrays)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+class JsonlEventLog:
+    """An append-in-memory, atomically-flushed JSONL event sink.
+
+    Parameters
+    ----------
+    path:
+        Destination ``.jsonl`` file.
+    flush_every:
+        Auto-flush after this many buffered (unflushed) events; ``0``
+        disables auto-flush (explicit :meth:`flush`/:meth:`close` only).
+    """
+
+    def __init__(self, path: PathLike, *, flush_every: int = 256) -> None:
+        if flush_every < 0:
+            raise ConfigurationError(
+                f"flush_every must be >= 0, got {flush_every}"
+            )
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._events: List[dict] = []
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the stored record (with its ``seq``).
+
+        ``fields`` are converted to JSON-safe types eagerly so a later
+        flush cannot fail on a value mutated or garbage-collected since.
+        """
+        record = {"seq": len(self._events), "kind": str(kind)}
+        record.update(_jsonable(fields))
+        self._events.append(record)
+        self._pending += 1
+        if self.flush_every and self._pending >= self.flush_every:
+            self.flush()
+        return record
+
+    @property
+    def events(self) -> List[dict]:
+        """All events emitted so far (flushed or not), in order."""
+        return list(self._events)
+
+    def flush(self) -> None:
+        """Atomically persist every event emitted so far.
+
+        Write-temp-then-rename (the checkpoint convention): the rename is
+        the commit point, so readers only ever see a complete file.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event) + "\n")
+        os.replace(tmp, self.path)
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush any buffered events (idempotent)."""
+        if self._pending or not self.path.exists():
+            self.flush()
+
+
+def read_events(path: PathLike, *, kind: Optional[str] = None) -> List[dict]:
+    """Read a JSONL event file back, optionally filtering by ``kind``."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no event log at {path}")
+    events = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_no}: malformed event line: {exc}"
+                ) from exc
+            if kind is None or event.get("kind") == kind:
+                events.append(event)
+    return events
+
+
+__all__ = ["JsonlEventLog", "read_events", "PathLike"]

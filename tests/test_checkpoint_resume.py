@@ -14,7 +14,11 @@ import pytest
 from repro.crowd.faults import FaultModel, PlatformWrapper
 from repro.exceptions import CheckpointError
 from repro.harness.checkpoint import load_checkpoint
-from repro.harness.experiment import ExperimentSetting, run_experiment
+from repro.harness.experiment import (
+    ExperimentSetting,
+    ExperimentSpec,
+    run_experiment,
+)
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
@@ -72,25 +76,28 @@ class TestKillResume:
         path = tmp_path / "run.ckpt"
         counter = []
         baseline = run_experiment(
-            framework, setting(), pretrain=False,
-            platform_hook=lambda p: counter.append(
-                KillAfter(p, float("inf"))) or counter[0],
+            framework, setting(), ExperimentSpec(
+                platform_hook=lambda p: counter.append(
+                    KillAfter(p, float("inf"))) or counter[0],
+            ), pretrain=False,
         )
         # Kill partway through however many answers this seed collects.
         kill_after = max(1, int(counter[0].count * fraction))
         with pytest.raises(KillSwitch):
             run_experiment(
-                framework, setting(), pretrain=False,
-                checkpoint_path=path, checkpoint_every=10,
-                platform_hook=lambda p: KillAfter(p, kill_after),
+                framework, setting(), ExperimentSpec(
+                    checkpoint_path=path, checkpoint_every=10,
+                    platform_hook=lambda p: KillAfter(p, kill_after),
+                ), pretrain=False,
             )
         checkpoint = load_checkpoint(path)
         # A single batch may overshoot the kill point, so only require a
         # non-empty journalled prefix.
         assert checkpoint.n_answers > 0
         resumed = run_experiment(
-            framework, setting(), pretrain=False,
-            checkpoint_path=path, checkpoint_every=10, resume=True,
+            framework, setting(), ExperimentSpec(
+                checkpoint_path=path, checkpoint_every=10, resume=True,
+            ), pretrain=False,
         )
         assert_same_run(resumed, baseline)
 
@@ -98,19 +105,21 @@ class TestKillResume:
         """Fault clock/outages and breaker counters survive the kill."""
         path = tmp_path / "faulty.ckpt"
         baseline = run_experiment(
-            "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
-            faults=0.1,
+            "DLTA", setting(seed=CHAOS_SEED + 7), ExperimentSpec(faults=0.1),
+            pretrain=False,
         )
         with pytest.raises(KillSwitch):
             run_experiment(
-                "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
-                faults=0.1, checkpoint_path=path, checkpoint_every=10,
-                platform_hook=lambda p: KillAfter(p, 40),
+                "DLTA", setting(seed=CHAOS_SEED + 7), ExperimentSpec(
+                    faults=0.1, checkpoint_path=path, checkpoint_every=10,
+                    platform_hook=lambda p: KillAfter(p, 40),
+                ), pretrain=False,
             )
         resumed = run_experiment(
-            "DLTA", setting(seed=CHAOS_SEED + 7), pretrain=False,
-            faults=0.1, checkpoint_path=path, checkpoint_every=10,
-            resume=True,
+            "DLTA", setting(seed=CHAOS_SEED + 7), ExperimentSpec(
+                faults=0.1, checkpoint_path=path, checkpoint_every=10,
+                resume=True,
+            ), pretrain=False,
         )
         assert_same_run(resumed, baseline)
         assert resumed.outcome.extras["collector"] == \
@@ -120,12 +129,14 @@ class TestKillResume:
         """Resuming a finished run replays the whole journal, same result."""
         path = tmp_path / "done.ckpt"
         first = run_experiment(
-            "OBA", setting(), pretrain=False,
-            checkpoint_path=path, checkpoint_every=10,
+            "OBA", setting(), ExperimentSpec(
+                checkpoint_path=path, checkpoint_every=10,
+            ), pretrain=False,
         )
         resumed = run_experiment(
-            "OBA", setting(), pretrain=False,
-            checkpoint_path=path, checkpoint_every=10, resume=True,
+            "OBA", setting(), ExperimentSpec(
+                checkpoint_path=path, checkpoint_every=10, resume=True,
+            ), pretrain=False,
         )
         assert_same_run(resumed, first)
 
@@ -134,8 +145,8 @@ class TestFaultSurvival:
     @pytest.mark.parametrize("rate", [0.05, 0.2])
     def test_fault_rates_complete_without_unhandled_exceptions(self, rate):
         result = run_experiment(
-            "DLTA", setting(seed=CHAOS_SEED + 11), pretrain=False,
-            faults=rate,
+            "DLTA", setting(seed=CHAOS_SEED + 11), ExperimentSpec(faults=rate),
+            pretrain=False,
         )
         assert result.report.n_evaluated > 0
         stats = result.outcome.extras["collector"]
@@ -149,8 +160,8 @@ class TestFaultSurvival:
                            rng=CHAOS_SEED)
         with caplog.at_level(logging.WARNING, "repro.crowd.resilient"):
             result = run_experiment(
-                "DLTA", setting(seed=CHAOS_SEED + 13), pretrain=False,
-                faults=model,
+                "DLTA", setting(seed=CHAOS_SEED + 13),
+                ExperimentSpec(faults=model), pretrain=False,
             )
         assert 0 in result.outcome.extras["quarantined"]
         assert any("quarantined annotator 0" in r.message
@@ -160,26 +171,26 @@ class TestFaultSurvival:
 class TestResumeErrors:
     def test_resume_without_checkpoint_file(self, tmp_path):
         with pytest.raises(CheckpointError):
-            run_experiment("DLTA", setting(), pretrain=False,
-                           checkpoint_path=tmp_path / "missing.ckpt",
-                           resume=True)
+            run_experiment("DLTA", setting(), ExperimentSpec(
+                checkpoint_path=tmp_path / "missing.ckpt", resume=True,
+            ), pretrain=False)
 
     def test_resume_with_wrong_framework(self, tmp_path):
         path = tmp_path / "dlta.ckpt"
-        run_experiment("DLTA", setting(), pretrain=False,
-                       checkpoint_path=path, checkpoint_every=10)
+        run_experiment("DLTA", setting(), ExperimentSpec(
+            checkpoint_path=path, checkpoint_every=10), pretrain=False)
         with pytest.raises(CheckpointError):
-            run_experiment("OBA", setting(), pretrain=False,
-                           checkpoint_path=path, resume=True)
+            run_experiment("OBA", setting(), ExperimentSpec(
+                checkpoint_path=path, resume=True), pretrain=False)
 
     def test_resume_with_wrong_setting(self, tmp_path):
         path = tmp_path / "dlta.ckpt"
-        run_experiment("DLTA", setting(), pretrain=False,
-                       checkpoint_path=path, checkpoint_every=10)
+        run_experiment("DLTA", setting(), ExperimentSpec(
+            checkpoint_path=path, checkpoint_every=10), pretrain=False)
         with pytest.raises(CheckpointError):
             run_experiment("DLTA", setting(seed=CHAOS_SEED + 1),
-                           pretrain=False, checkpoint_path=path,
-                           resume=True)
+                           ExperimentSpec(checkpoint_path=path, resume=True),
+                           pretrain=False)
 
     def test_malformed_checkpoint(self, tmp_path):
         path = tmp_path / "garbage.ckpt"

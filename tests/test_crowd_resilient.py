@@ -19,6 +19,7 @@ from repro.exceptions import CollectionFailedError, ConfigurationError
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
+    ExperimentSpec,
     run_experiment,
 )
 
@@ -161,10 +162,11 @@ class TestRateZeroEquivalence:
         setting = ExperimentSetting("S12CP", scale=0.02, seed=3)
         plain = run_experiment(name, setting, pretrain=False)
         guarded = run_experiment(
-            name, setting, pretrain=False,
-            faults=FaultModel(
-                setting.n_workers + setting.n_experts, rng=0),
-            resilient=True,
+            name, setting, ExperimentSpec(
+                faults=FaultModel(
+                    setting.n_workers + setting.n_experts, rng=0),
+                resilient=True,
+            ), pretrain=False,
         )
         assert guarded.report == plain.report
         assert np.array_equal(guarded.outcome.final_labels,
@@ -178,6 +180,6 @@ class TestRateZeroEquivalence:
         clear_pretrained_policies()
         plain = run_experiment("CrowdRL", setting)
         clear_pretrained_policies()
-        guarded = run_experiment("CrowdRL", setting, faults=0.0,
-                                 resilient=True)
+        guarded = run_experiment("CrowdRL", setting,
+                                 ExperimentSpec(faults=0.0, resilient=True))
         assert guarded.report == plain.report

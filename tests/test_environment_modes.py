@@ -44,7 +44,10 @@ class TestStickyMode:
 
 class TestPMMode:
     def test_pm_inference_runs_and_labels(self, dataset):
-        outcome, platform = run_with(dataset, inference_method="pm")
+        # PM needs answer redundancy to de-noise; 200 units buys roughly
+        # two answers per object, below that the trajectory is seed-luck.
+        outcome, platform = run_with(dataset, budget=200.0,
+                                     inference_method="pm")
         report = outcome.evaluate(platform.evaluation_labels())
         assert report.accuracy > 0.5
 

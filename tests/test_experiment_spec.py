@@ -1,0 +1,72 @@
+"""ExperimentSpec consolidation and the deprecated-kwarg compatibility path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.experiment import (
+    ExperimentSetting,
+    ExperimentSpec,
+    run_experiment,
+)
+
+SETTING = ExperimentSetting("S12CP", scale=0.02, seed=3)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = ExperimentSpec()
+        assert spec.faults is None
+        assert spec.resilient is None
+        assert spec.checkpoint_path is None
+        assert spec.checkpoint_every == 50
+        assert spec.resume is False
+        assert spec.metrics is None
+        assert spec.metrics_out is None
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(checkpoint_every=0)
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(resume=True)
+
+
+class TestLegacyKwargs:
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            run_experiment("DLTA", SETTING, pretrain=False, faults=0.0)
+
+    def test_legacy_equals_spec(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment("DLTA", SETTING, pretrain=False,
+                                    faults=0.0, resilient=True)
+        spec = run_experiment("DLTA", SETTING,
+                              ExperimentSpec(faults=0.0, resilient=True),
+                              pretrain=False)
+        assert legacy.report == spec.report
+        assert np.array_equal(legacy.outcome.final_labels,
+                              spec.outcome.final_labels)
+        assert legacy.outcome.spent == spec.outcome.spent
+
+    def test_spec_plus_legacy_kwargs_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_experiment("DLTA", SETTING, ExperimentSpec(), faults=0.1)
+
+    def test_legacy_checkpoint_kwargs_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        with pytest.warns(DeprecationWarning):
+            first = run_experiment("DLTA", SETTING, pretrain=False,
+                                   checkpoint_path=path, checkpoint_every=10)
+        resumed = run_experiment(
+            "DLTA", SETTING,
+            ExperimentSpec(checkpoint_path=path, resume=True),
+            pretrain=False,
+        )
+        assert resumed.report == first.report
+
+    def test_plain_call_does_not_warn(self, recwarn):
+        run_experiment("DLTA", SETTING, pretrain=False)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]

@@ -1,0 +1,100 @@
+"""String registry for truth-inference algorithms (repro.inference.get)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.exceptions import ConfigurationError
+from repro.inference import (
+    INFERENCE_NAMES,
+    CATDInference,
+    DawidSkene,
+    GladInference,
+    JointInference,
+    MajorityVote,
+    PMInference,
+    TruthInference,
+    WeightedMajorityVote,
+    ZenCrowd,
+    get,
+)
+
+EXPECTED_CLASSES = {
+    "majority": MajorityVote,
+    "weighted_majority": WeightedMajorityVote,
+    "dawid_skene": DawidSkene,
+    "pm": PMInference,
+    "glad": GladInference,
+    "zencrowd": ZenCrowd,
+    "catd": CATDInference,
+    "joint": JointInference,
+}
+
+#: Constructor kwargs for algorithms with required state.
+REQUIRED_KWARGS = {
+    "weighted_majority": lambda: {"weights": [1.0, 2.0, 1.5]},
+    "joint": lambda: {
+        "classifier": LogisticRegressionClassifier(4, 2),
+        "features": np.zeros((6, 4)),
+    },
+}
+
+
+def make(name):
+    return get(name, **REQUIRED_KWARGS.get(name, dict)())
+
+
+class TestRegistry:
+    def test_names_cover_expected_algorithms(self):
+        assert set(INFERENCE_NAMES) == set(EXPECTED_CLASSES)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CLASSES))
+    def test_roundtrip_every_algorithm(self, name):
+        instance = make(name)
+        assert isinstance(instance, EXPECTED_CLASSES[name])
+        assert isinstance(instance, TruthInference)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CLASSES))
+    def test_registry_instances_infer(self, name):
+        answers = {
+            0: {0: 0, 1: 0, 2: 1},
+            1: {0: 1, 1: 1, 2: 1},
+            2: {0: 0, 1: 1, 2: 0},
+            3: {0: 1, 1: 0, 2: 1},
+            4: {0: 0, 1: 0, 2: 0},
+            5: {0: 1, 1: 1, 2: 0},
+        }
+        result = make(name).infer(answers, n_classes=2, n_annotators=3)
+        assert set(result.labels) == set(answers)
+        assert all(label in (0, 1) for label in result.labels.values())
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(get("  Dawid_Skene "), DawidSkene)
+
+    def test_kwargs_forward_to_constructor(self):
+        assert get("dawid_skene", max_iter=7).max_iter == 7
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match="dawid_skene"):
+            get("super_vote")
+
+
+class TestTopLevelSurface:
+    def test_public_api_exports(self):
+        for name in ("CrowdRL", "CrowdRLConfig", "run_experiment",
+                     "ExperimentSpec", "ExperimentSetting", "TruthInference",
+                     "get", "INFERENCE_NAMES"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_lazy_harness_exports_resolve(self):
+        from repro.harness.experiment import ExperimentSpec, run_experiment
+
+        assert repro.run_experiment is run_experiment
+        assert repro.ExperimentSpec is ExperimentSpec
+        assert "run_experiment" in dir(repro)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
