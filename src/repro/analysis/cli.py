@@ -5,13 +5,22 @@ Subcommands::
     python -m repro.analysis lint src            # exit 1 on any finding
     python -m repro.analysis lint src --format json
     python -m repro.analysis lint src --select REPRO001,REPRO005
+    python -m repro.analysis flow src/repro      # interprocedural rules
+    python -m repro.analysis flow src/repro --fail-on-new
+    python -m repro.analysis flow src/repro --write-baseline
     python -m repro.analysis contracts-report --format json
 
 ``lint`` prints ``path:line:col: RULE message`` lines (or a JSON document)
 and exits non-zero when findings survive suppression, so it slots
-directly into CI.  ``contracts-report`` imports the modules that carry
-runtime contracts and lists every decorator application with its
-active/inactive status under the current ``REPRO_CONTRACTS`` setting.
+directly into CI.  ``flow`` runs the interprocedural dataflow rules
+(REPRO007-012) with committed-baseline ratcheting: findings recorded in
+a ``.repro-flow-baseline.json`` (auto-discovered by walking up from the
+analyzed path, like ``.gitignore``) are reported but do not fail the
+run; ``--fail-on-new`` additionally *requires* a baseline so CI breaks
+loudly if the file goes missing.  ``contracts-report`` imports the
+modules that carry runtime contracts and lists every decorator
+application with its active/inactive status under the current
+``REPRO_CONTRACTS`` setting.
 """
 
 from __future__ import annotations
@@ -20,9 +29,19 @@ import argparse
 import importlib
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.contracts import contract_registry, contracts_active
+from repro.analysis.flow import (
+    BASELINE_FILENAME,
+    FLOW_RULES,
+    analyze_paths,
+    discover_baseline,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
 from repro.analysis.lint.engine import Finding, all_rules, lint_paths
 from repro.exceptions import ReproError
 
@@ -52,6 +71,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule ids (default: all rules)")
     lint.add_argument("--statistics", action="store_true",
                       help="append a per-rule finding count summary")
+
+    flow = sub.add_parser(
+        "flow", help="run the interprocedural dataflow rules (REPRO007-012)"
+    )
+    flow.add_argument("paths", nargs="+", help="files or directories to analyze")
+    flow.add_argument("--format", choices=("text", "json"), default="text")
+    flow.add_argument("--select", default=None,
+                      help="comma-separated rule ids (default: all flow rules)")
+    flow.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: the nearest {BASELINE_FILENAME} "
+             f"above the analyzed path)")
+    flow.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline; report every finding")
+    flow.add_argument(
+        "--write-baseline", nargs="?", const="", default=None, metavar="PATH",
+        help="accept the current findings as the new baseline (default "
+             f"target: the discovered baseline, else ./{BASELINE_FILENAME})")
+    flow.add_argument(
+        "--fail-on-new", action="store_true",
+        help="require a baseline and fail only on findings not in it "
+             "(comparison against a present baseline always applies; this "
+             "flag makes a *missing* baseline a hard error for CI)")
 
     report = sub.add_parser("contracts-report",
                             help="list runtime contract decorations")
@@ -90,6 +132,59 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_flow(args: argparse.Namespace) -> int:
+    select = args.select.split(",") if args.select else None
+    findings = analyze_paths(args.paths, select=select)
+
+    if args.write_baseline is not None:
+        if args.write_baseline:
+            target = Path(args.write_baseline)
+        elif args.baseline:
+            target = Path(args.baseline)
+        else:
+            target = discover_baseline(args.paths) or Path(BASELINE_FILENAME)
+        write_baseline(target, findings)
+        print(f"baseline with {len(findings)} finding(s) written to {target}")
+        return 0
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else discover_baseline(args.paths))
+    if args.fail_on_new and baseline_path is None:
+        print(f"error: --fail-on-new requires a baseline "
+              f"({BASELINE_FILENAME} not found above the analyzed paths)",
+              file=sys.stderr)
+        return 2
+
+    baselined: List[Finding] = []
+    if baseline_path is not None:
+        accepted = load_baseline(baseline_path)
+        findings, baselined = split_by_baseline(
+            findings, accepted, baseline_path.resolve().parent
+        )
+
+    if args.format == "json":
+        payload = {
+            "rules": dict(FLOW_RULES),
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+            "baseline": str(baseline_path) if baseline_path else None,
+            "baselined": [finding.to_dict() for finding in baselined],
+            "baselined_count": len(baselined),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        lines = [finding.format() for finding in findings]
+        summary = (f"{len(findings)} finding(s)" if findings
+                   else "no new findings")
+        if baseline_path is not None:
+            summary += (f" ({len(baselined)} baselined via {baseline_path})")
+        lines.append(summary)
+        print("\n".join(lines))
+    return 1 if findings else 0
+
+
 def _run_contracts_report(args: argparse.Namespace) -> int:
     for module in _CONTRACT_MODULES:
         importlib.import_module(module)
@@ -119,6 +214,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "lint":
             return _run_lint(args)
+        if args.command == "flow":
+            return _run_flow(args)
         return _run_contracts_report(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -1,0 +1,110 @@
+"""Interprocedural dataflow analysis for the CrowdRL reproduction.
+
+Where :mod:`repro.analysis.lint` judges one module at a time, this
+package loads the whole ``repro`` tree into a :class:`~.project.Project`
+graph and runs three engines across function and module boundaries:
+
+* :mod:`~.rng` — RNG provenance (REPRO007 unseeded construction,
+  REPRO008 global numpy state in dataflow, REPRO009 one stream shared
+  across components);
+* :mod:`~.shapes` — static verification of the ``@shaped`` runtime
+  contracts as interface specs (REPRO010 transposed/ill-arity call
+  sites);
+* :mod:`~.determinism` — ordering and clock hazards (REPRO011 unsorted
+  filesystem/set enumeration, REPRO012 wall-clock reads outside
+  ``obs/``).
+
+Findings reuse the lint engine's :class:`~repro.analysis.lint.engine.Finding`
+record and honour the same ``# repro: noqa REPROxxx`` suppression
+comments; :mod:`~.baseline` adds committed-baseline ratcheting for CI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.lint.engine import Finding, _is_suppressed
+from repro.exceptions import ConfigurationError
+from repro.analysis.flow.baseline import (
+    BASELINE_FILENAME,
+    discover_baseline,
+    finding_key,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.analysis.flow.determinism import check_determinism
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.rng import check_rng
+from repro.analysis.flow.shapes import check_shapes
+
+#: Rule id -> one-line description, in report order.
+FLOW_RULES = {
+    "REPRO007": "no unseeded Generator construction (incl. default_factory"
+                "/lambda/default-arg indirection)",
+    "REPRO008": "global np.random state must not enter dataflow",
+    "REPRO009": "no single RNG stream shared across components; spawn "
+                "child streams",
+    "REPRO010": "call sites must satisfy the @shaped symbolic dimension "
+                "contracts",
+    "REPRO011": "no unsorted filesystem/set enumeration feeding computation",
+    "REPRO012": "no wall-clock reads outside repro.obs",
+}
+
+_ENGINES = (check_rng, check_shapes, check_determinism)
+
+
+def _selected(select: Optional[Iterable[str]]) -> Sequence[str]:
+    if select is None:
+        return tuple(FLOW_RULES)
+    chosen = []
+    for rule_id in select:
+        rule_id = rule_id.strip().upper()
+        if rule_id not in FLOW_RULES:
+            raise ConfigurationError(
+                f"unknown flow rule {rule_id!r}; known: "
+                f"{', '.join(FLOW_RULES)}"
+            )
+        chosen.append(rule_id)
+    return tuple(chosen)
+
+
+def analyze_project(project: Project,
+                    select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run the flow engines over an already-loaded project."""
+    wanted = set(_selected(select))
+    by_path = {module.path: module for module in project.modules}
+    findings = [
+        finding
+        for engine in _ENGINES
+        for finding in engine(project)
+        if finding.rule_id in wanted
+    ]
+    kept = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        suppressions = module.suppressions if module is not None else {}
+        if not _is_suppressed(finding, suppressions):
+            kept.append(finding)
+    return sorted(kept)
+
+
+def analyze_paths(paths: Iterable[str],
+                  select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Load ``paths`` into a project and run the flow engines over it."""
+    return analyze_project(Project.load(paths), select=select)
+
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "FLOW_RULES",
+    "Finding",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "discover_baseline",
+    "finding_key",
+    "load_baseline",
+    "split_by_baseline",
+    "write_baseline",
+]

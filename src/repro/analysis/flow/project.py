@@ -1,0 +1,285 @@
+"""Whole-project model for the interprocedural flow analyzer.
+
+The lint engine (:mod:`repro.analysis.lint`) sees one module at a time;
+the flow engines need to follow values *across* modules — a
+``default_factory`` in ``crowd/`` resolving to a helper in ``utils/``, a
+``@shaped`` declaration in ``rl/`` constraining a call site in ``core/``.
+This module builds that shared substrate once per run:
+
+* :class:`ModuleInfo` — one parsed module with its dotted name, import
+  alias table and per-line suppression map;
+* :class:`FunctionRecord` — one function/method definition, indexed both
+  by qualified and by short name so attribute calls (``agent.q_matrix``)
+  resolve to their unique project definition when the short name is
+  unambiguous;
+* :class:`Project` — the loaded module set plus name-resolution helpers
+  (:meth:`Project.resolve`, :meth:`Project.lookup_function`) and parent
+  links (:meth:`ModuleInfo.parent`) for context-sensitive checks.
+
+Resolution is deliberately conservative: a name that cannot be traced to
+a unique definition resolves to ``None`` and downstream rules stay quiet
+rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.engine import iter_python_files, suppressed_rules
+
+
+def module_dotted_name(path: Path) -> str:
+    """Dotted module name inferred from the ``__init__.py`` package chain.
+
+    ``src/repro/crowd/pool.py`` -> ``repro.crowd.pool``; a file outside
+    any package keeps just its stem (fixtures analyze fine that way).
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully qualified name, from the module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports are not used in this project
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class FunctionRecord:
+    """One function or method definition somewhere in the project."""
+
+    module: "ModuleInfo"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def short_name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def parameters(self) -> List[str]:
+        """Positional parameter names, ``self``/``cls`` stripped for methods."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.is_method and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def full_name(self) -> str:
+        return f"{self.module.name}.{self.qualname}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus everything resolution needs about it."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+    suppressions: dict = field(default_factory=dict)
+    _parents: Dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.aliases:
+            self.aliases = _import_aliases(self.tree)
+        if not self.suppressions:
+            self.suppressions = suppressed_rules(self.source.splitlines())
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None at the module root)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully qualified dotted name of an expression, or ``None``.
+
+        ``np.random.default_rng`` resolves through the ``import numpy as
+        np`` alias to ``numpy.random.default_rng``; a plain name imported
+        with ``from x import y`` resolves to ``x.y``.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        return ".".join([base] + chain)
+
+    def in_subpackage(self, *names: str) -> bool:
+        """Whether this module lives under any dotted component in ``names``."""
+        parts = self.name.split(".")[:-1]
+        return any(name in parts for name in names)
+
+
+class Project:
+    """The parsed module set with cross-module name resolution."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self.by_name: Dict[str, ModuleInfo] = {m.name: m for m in modules}
+        #: short function name -> every project definition with that name
+        self.functions_by_short: Dict[str, List[FunctionRecord]] = {}
+        #: fully qualified name -> definition
+        self.functions_by_full: Dict[str, FunctionRecord] = {}
+        for module in self.modules:
+            for record in _collect_functions(module):
+                self.functions_by_short.setdefault(
+                    record.short_name, []
+                ).append(record)
+                self.functions_by_full[record.full_name()] = record
+
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Project":
+        """Parse every ``*.py`` file under ``paths`` into a project."""
+        modules: List[ModuleInfo] = []
+        seen: Set[str] = set()
+        for file_path in iter_python_files(paths):
+            resolved = str(Path(file_path).resolve())
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            source = Path(file_path).read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError:  # repro: noqa REPRO004
+                continue  # the lint engine owns REPRO000 syntax reporting
+            modules.append(
+                ModuleInfo(
+                    path=str(file_path),
+                    name=module_dotted_name(Path(file_path)),
+                    tree=tree,
+                    source=source,
+                )
+            )
+        return cls(modules)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def lookup_function(self, module: ModuleInfo,
+                        callee: ast.expr) -> Optional[FunctionRecord]:
+        """Resolve a call target expression to a project definition.
+
+        Tries the fully qualified resolution first (free functions and
+        imported names); attribute calls whose base is opaque
+        (``self.agent.q_matrix``) fall back to the short method name when
+        exactly one project definition carries it.
+        """
+        full = module.resolve(callee)
+        if full is not None:
+            # Module-local names resolve to themselves; qualify them.
+            record = self.functions_by_full.get(full) \
+                or self.functions_by_full.get(f"{module.name}.{full}")
+            if record is not None:
+                return record
+            # ``module.func`` where ``module`` was imported as a module
+            tail = full.rsplit(".", 1)[-1]
+            candidates = [
+                r for r in self.functions_by_short.get(tail, [])
+                if r.full_name() == full or full.endswith(
+                    f"{r.module.name}.{r.qualname}"
+                )
+            ]
+            if len(candidates) == 1:
+                return candidates[0]
+        if isinstance(callee, ast.Attribute):
+            candidates = self.functions_by_short.get(callee.attr, [])
+            methods = [r for r in candidates if r.is_method]
+            if len(methods) == 1 and len(candidates) == 1:
+                return methods[0]
+        return None
+
+    def return_expressions(self, record: FunctionRecord) -> List[ast.expr]:
+        """Every non-``None`` returned expression of a function body."""
+        returns: List[ast.expr] = []
+        for node in ast.walk(record.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returns.append(node.value)
+        return returns
+
+
+def _collect_functions(module: ModuleInfo) -> Iterable[FunctionRecord]:
+    """Yield every function definition in a module with its class context."""
+
+    def walk(node: ast.AST, prefix: str,
+             class_name: Optional[str]) -> Iterable[FunctionRecord]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield FunctionRecord(
+                    module=module, node=child, qualname=qualname,
+                    class_name=class_name,
+                )
+                yield from walk(child, f"{qualname}.<locals>.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.", child.name)
+            else:
+                yield from walk(child, prefix, class_name)
+
+    return walk(module.tree, "", None)
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name`` on ``call``, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def bind_arguments(record: FunctionRecord,
+                   call: ast.Call) -> List[Tuple[str, ast.expr]]:
+    """Pair call arguments with the callee's parameter names.
+
+    Starred arguments stop positional binding (conservative); unknown
+    keywords are dropped.
+    """
+    params = record.parameters()
+    bound: List[Tuple[str, ast.expr]] = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred) or index >= len(params):
+            break
+        bound.append((params[index], arg))
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in params:
+            bound.append((keyword.arg, keyword.value))
+        elif keyword.arg is not None:
+            # dataclass synthetic __init__: fields are not in the AST of
+            # any def, so keyword binding by name is still meaningful.
+            bound.append((keyword.arg, keyword.value))
+    return bound

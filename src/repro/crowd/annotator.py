@@ -54,9 +54,15 @@ class Annotator:
     confusion: ConfusionMatrix
     cost: float
     capacity: Optional[int] = None
-    _rng: np.random.Generator = field(default_factory=np.random.default_rng, repr=False)
+    #: Answer-simulation stream.  Callers that own a root seed should pass
+    #: a child stream (``spawn_rngs``) or use :meth:`seeded`; when omitted
+    #: the stream is derived from ``annotator_id`` so that constructing the
+    #: same annotator twice yields identical answer sequences.
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self._rng is None:
+            self._rng = as_rng(self.annotator_id)
         if self.cost <= 0:
             raise ConfigurationError(f"annotator cost must be > 0, got {self.cost}")
         if self.capacity is not None and self.capacity <= 0:

@@ -56,10 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="base random seed")
 
     lint_parser = sub.add_parser(
-        "lint", help="run the repro static-analysis linter (repro.analysis)"
+        "lint", help="run the repro static-analysis linter (repro.analysis); "
+                     "`lint flow ...` forwards to the interprocedural "
+                     "flow analyzer"
     )
     lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER,
-                             help="arguments forwarded to repro.analysis lint")
+                             help="arguments forwarded to repro.analysis "
+                                  "(first token may name a subcommand: "
+                                  "lint, flow, contracts-report)")
 
     run_parser = sub.add_parser("run", help="run one framework once")
     run_parser.add_argument("--framework", required=True,
@@ -106,7 +110,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "lint":
         from repro.analysis.cli import main as analysis_main
 
-        return analysis_main(["lint", *(args.lint_args or ["src"])])
+        forwarded = list(args.lint_args or ["src"])
+        if forwarded[0] not in ("lint", "flow", "contracts-report"):
+            forwarded = ["lint", *forwarded]
+        return analysis_main(forwarded)
 
     if args.command in _FIGURES:
         panels = _FIGURES[args.command](

@@ -21,7 +21,7 @@ from repro.analysis.contracts import shaped
 from repro.exceptions import ConfigurationError
 from repro.rl.qnetwork import QNetwork
 from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, Transition
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, spawn_rngs
 
 
 @dataclass(frozen=True)
@@ -64,16 +64,18 @@ class DQNAgent:
     """Q-learning with replay and target network over featurized actions."""
 
     def __init__(self, config: DQNConfig, rng: SeedLike = None) -> None:
-        rng = as_rng(rng)
+        # Child streams per component: sharing one generator would couple
+        # weight initialisation to replay sampling (REPRO009).
+        qnet_rng, buffer_rng = spawn_rngs(rng, 2)
         self.config = config
         self.qnet = QNetwork(
             config.n_features,
             hidden=config.hidden,
             learning_rate=config.learning_rate,
-            rng=rng,
+            rng=qnet_rng,
         )
         buffer_cls = PrioritizedReplayBuffer if config.prioritized else ReplayBuffer
-        self.buffer = buffer_cls(config.buffer_capacity, rng=rng)
+        self.buffer = buffer_cls(config.buffer_capacity, rng=buffer_rng)
         self._train_steps = 0
 
     # ------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""REPRO001 indirection fixture: three hits, clean counterparts, one waiver.
+
+The unseeded-construction hazard hides behind ``default_factory``
+references, lambdas, and parameter defaults; each form gets one hit
+here (these were invisible to the PR 1 rule and are exactly the shape
+of the real bug fixed in ``repro/crowd/annotator.py``).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class HitFactoryReference:
+    """Dataclass whose stream factory is an unseeded constructor (flagged)."""
+
+    _rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+
+@dataclass
+class HitFactoryLambda:
+    """Same hazard, hidden one lambda deep (flagged)."""
+
+    _rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng()
+    )
+
+
+def hit_parameter_default(rng=np.random.default_rng()):
+    """One unseeded stream frozen at import time (flagged)."""
+    return rng.random(3)
+
+
+@dataclass
+class CleanExplicitStream:
+    """The fix: accept an explicit stream, no hidden construction."""
+
+    _rng: Optional[np.random.Generator] = field(default=None)
+
+
+def clean_seeded_factory(seed):
+    """A factory that threads its seed is fine."""
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class SuppressedFactory:
+    """Unseeded factory with an inline waiver (suppressed)."""
+
+    _rng: np.random.Generator = field(default_factory=np.random.default_rng)  # repro: noqa REPRO001

@@ -1,0 +1,29 @@
+"""REPRO012 fixture: wall-clock reads outside the observability layer.
+
+Three hits: a ``time.time()`` call, a ``datetime.now()`` call, and a
+clock smuggled as a parameter default.  Injecting the clock as an
+argument (the ``repro.obs`` registry pattern) stays silent.
+"""
+
+import time
+from datetime import datetime
+
+
+def hit_time_call():
+    """Direct wall-clock read (flagged)."""
+    return time.time()
+
+
+def hit_datetime_call():
+    """Datetime reads the wall clock too (flagged)."""
+    return datetime.now().isoformat()
+
+
+def hit_clock_default(clock=time.perf_counter):
+    """A bare clock reference as a default smuggles the read (flagged)."""
+    return clock()
+
+
+def clean_injected(clock):
+    """An injected clock keeps the caller in control (silent)."""
+    return clock()

@@ -1,0 +1,40 @@
+"""REPRO011 fixture: unordered enumeration feeding computation.
+
+Three hits: raw ``os.listdir``, raw ``Path.glob`` iteration, and set
+iteration.  The ``sorted(...)`` counterparts stay silent, including the
+comprehension-inside-sorted form.
+"""
+
+import os
+from pathlib import Path
+
+
+def hit_listdir(path):
+    """Filesystem order leaks into the result (flagged)."""
+    names = os.listdir(path)
+    return [name.upper() for name in names]
+
+
+def hit_glob(path):
+    """Path.glob enumerates in filesystem order (flagged)."""
+    return [p.stem for p in Path(path).glob("*.npy")]
+
+
+def hit_set_iteration(items):
+    """Hash order leaks into the result (flagged)."""
+    return [item for item in set(items)]
+
+
+def clean_listdir(path):
+    """Sorted before use (silent)."""
+    return [name.upper() for name in sorted(os.listdir(path))]
+
+
+def clean_glob(path):
+    """The comprehension-inside-sorted form counts as ordered (silent)."""
+    return sorted(p.stem for p in Path(path).glob("*.npy"))
+
+
+def clean_set_iteration(items):
+    """Sorted set iteration is deterministic (silent)."""
+    return [item for item in sorted(set(items))]

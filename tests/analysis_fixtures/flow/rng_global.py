@@ -1,0 +1,34 @@
+"""REPRO008 fixture: global numpy RNG state entering dataflow.
+
+Three hits: the ``np.random`` module object passed as an argument,
+bound to a variable, and ``np.random.seed`` mutating process state.
+Passing a real generator stays silent.
+"""
+
+import numpy as np
+
+
+def consume(rng):
+    """Any callee that draws from whatever it is handed."""
+    return rng.random(3)
+
+
+def hit_passed_as_argument():
+    """The module object is not a stream (flagged)."""
+    return consume(rng=np.random)
+
+
+def hit_bound_as_value():
+    """Aliasing the module smuggles global state (flagged)."""
+    rng = np.random
+    return consume(rng=rng)
+
+
+def hit_seed_call():
+    """Re-seeding global state couples unrelated call sites (flagged)."""
+    np.random.seed(0)  # repro: noqa REPRO001
+
+
+def clean_generator(seed):
+    """A seeded generator is the sanctioned currency (silent)."""
+    return consume(rng=np.random.default_rng(seed))

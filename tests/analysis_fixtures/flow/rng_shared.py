@@ -1,0 +1,61 @@
+"""REPRO009 fixture: one stream feeding several components.
+
+One hit: ``hit_shared_stream`` hands the *same* generator to two
+components back to back, coupling their draw sequences.  The spawned,
+dispatch-exclusive, and single-component forms all stay silent.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class Sampler:
+    """A component that draws from the stream it is given."""
+
+    def __init__(self, rng=None):
+        """Bind the stream."""
+        self.rng = as_rng(rng)
+
+
+class Shuffler:
+    """A second stream-consuming component."""
+
+    def __init__(self, rng=None):
+        """Bind the stream."""
+        self.rng = as_rng(rng)
+
+
+def hit_shared_stream(seed):
+    """Both components share one stream (flagged)."""
+    rng = as_rng(seed)
+    sampler = Sampler(rng=rng)
+    shuffler = Shuffler(rng=rng)
+    return sampler, shuffler
+
+
+def clean_spawned(seed):
+    """Each component gets an independent child stream (silent)."""
+    sampler_rng, shuffler_rng = spawn_rngs(seed, 2)
+    return Sampler(rng=sampler_rng), Shuffler(rng=shuffler_rng)
+
+
+def clean_dispatch(seed, kind):
+    """Exclusive if/else arms: only one component runs (silent)."""
+    rng = as_rng(seed)
+    if kind == "sampler":
+        return Sampler(rng=rng)
+    else:
+        return Shuffler(rng=rng)
+
+
+def clean_return_dispatch(seed, kind):
+    """Early-return dispatch: at most one return executes (silent)."""
+    rng = as_rng(seed)
+    if kind == "sampler":
+        return Sampler(rng=rng)
+    return Shuffler(rng=rng)
+
+
+def clean_single(seed):
+    """One component, called repeatedly, is still one stream owner (silent)."""
+    rng = as_rng(seed)
+    return [Sampler(rng=rng) for _ in range(3)]

@@ -1,0 +1,45 @@
+"""REPRO007 fixture: unseeded construction, incl. interprocedural factory.
+
+Three hits: a direct unseeded ``default_rng()`` call, the helper body
+that performs it, and a ``default_factory`` that only bottoms out in an
+unseeded constructor one project-function hop away — the indirection the
+single-module linter cannot see.  The seeded counterparts stay silent.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _fresh_stream():
+    """A helper whose return value is an unseeded stream."""
+    return np.random.default_rng()
+
+
+@dataclass
+class HitIndirectFactory:
+    """Factory resolves through ``_fresh_stream`` to unseeded (flagged)."""
+
+    _rng: np.random.Generator = field(default_factory=_fresh_stream)
+
+
+def hit_direct():
+    """Direct unseeded construction (flagged)."""
+    return np.random.default_rng().random(3)
+
+
+def clean_seeded(seed):
+    """Seed threaded explicitly (silent)."""
+    return np.random.default_rng(seed).random(3)
+
+
+def _seeded_stream():
+    """A helper that derives its stream from a fixed seed."""
+    return np.random.default_rng(1234)
+
+
+@dataclass
+class CleanSeededFactory:
+    """Factory resolves to a *seeded* constructor (silent)."""
+
+    _rng: np.random.Generator = field(default_factory=_seeded_stream)

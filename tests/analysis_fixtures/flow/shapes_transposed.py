@@ -1,0 +1,52 @@
+"""REPRO010 fixture: call sites vs ``@shaped`` interface specs.
+
+Two hits: a deliberately transposed argument (the declared symbol
+multiset in the wrong order) and an arity mismatch.  The
+correctly-oriented call stays silent, as does a call whose shape the
+analyzer cannot know.
+"""
+
+import numpy as np
+
+from repro.analysis.contracts import shaped
+
+
+@shaped(result="(n_objects, n_workers)")
+def build_answers(n_objects, n_workers):
+    """Produce the answer matrix in the paper's |O| x |W| orientation."""
+    return np.zeros((n_objects, n_workers))
+
+
+@shaped(result="(n_objects,)")
+def object_difficulty(n_objects):
+    """A per-object vector."""
+    return np.zeros(n_objects)
+
+
+@shaped(answers="(n_objects, n_workers)")
+def per_worker_totals(answers):
+    """Consume the answer matrix in declared orientation."""
+    return answers.sum(axis=0)
+
+
+def hit_transposed():
+    """Passing the transpose where (n_objects, n_workers) is declared."""
+    answers = build_answers(4, 3)
+    return per_worker_totals(answers.T)
+
+
+def hit_wrong_arity():
+    """Passing a 1-D vector where a 2-D matrix is declared."""
+    difficulty = object_difficulty(4)
+    return per_worker_totals(difficulty)
+
+
+def clean_oriented():
+    """The declared orientation passes the matrix straight through."""
+    answers = build_answers(4, 3)
+    return per_worker_totals(answers)
+
+
+def clean_unknown(payload):
+    """An argument of unknown shape is not judged."""
+    return per_worker_totals(payload)

@@ -53,8 +53,12 @@ class TestPMMode:
 
     def test_pm_mode_has_no_joint_classifier_bias(self, dataset):
         """PM mode must still produce a classifier for enrichment."""
+        # A budget below full human coverage (45 objects x 2 answers each)
+        # forces the run to lean on the classifier for the remainder, so
+        # enrichment is structural; with a generous budget every object
+        # ends human-sourced and the assertion reduces to seed luck.
         outcome, _ = run_with(dataset, inference_method="pm",
-                              budget=400.0)
+                              budget=80.0)
         counts = outcome.source_counts()
         assert counts["enriched"] + counts["predicted"] > 0
 
