@@ -13,7 +13,9 @@ Subcommands::
 ``lint`` prints ``path:line:col: RULE message`` lines (or a JSON document)
 and exits non-zero when findings survive suppression, so it slots
 directly into CI.  ``flow`` runs the interprocedural dataflow rules
-(REPRO007-012) with committed-baseline ratcheting: findings recorded in
+(REPRO007-018; ``--select`` accepts single ids and inclusive ranges
+like ``REPRO013-REPRO018``) with committed-baseline ratcheting:
+findings recorded in
 a ``.repro-flow-baseline.json`` (auto-discovered by walking up from the
 analyzed path, like ``.gitignore``) are reported but do not fail the
 run; ``--fail-on-new`` additionally *requires* a baseline so CI breaks
@@ -73,12 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append a per-rule finding count summary")
 
     flow = sub.add_parser(
-        "flow", help="run the interprocedural dataflow rules (REPRO007-012)"
+        "flow", help="run the interprocedural dataflow rules (REPRO007-018)"
     )
     flow.add_argument("paths", nargs="+", help="files or directories to analyze")
     flow.add_argument("--format", choices=("text", "json"), default="text")
     flow.add_argument("--select", default=None,
-                      help="comma-separated rule ids (default: all flow rules)")
+                      help="comma-separated rule ids or inclusive ranges "
+                           "like REPRO013-REPRO018 (default: all flow rules)")
     flow.add_argument(
         "--baseline", default=None, metavar="PATH",
         help=f"baseline file (default: the nearest {BASELINE_FILENAME} "

@@ -62,7 +62,7 @@ class ContractRecord:
         }
 
 
-_REGISTRY: List[ContractRecord] = []
+_REGISTRY: List[ContractRecord] = []  # repro: process-local — append-only decoration registry rebuilt identically by import in every process
 
 
 def contracts_active() -> bool:

@@ -11,16 +11,28 @@ graph and runs three engines across function and module boundaries:
   contracts as interface specs (REPRO010 transposed/ill-arity call
   sites);
 * :mod:`~.determinism` — ordering and clock hazards (REPRO011 unsorted
-  filesystem/set enumeration, REPRO012 wall-clock reads outside
-  ``obs/``).
+  filesystem/set enumeration — a ``sorted(key=...)`` whose key is
+  itself non-deterministic does not count as ordering, REPRO012
+  wall-clock reads outside ``obs/``);
+* :mod:`~.parallel` — parallel-safety rules guarding the sharded
+  experiment engine (REPRO013 module-global mutable state, REPRO014
+  parent RNG streams crossing process boundaries, REPRO015 unpicklable
+  worker payloads, REPRO016 in-place mutation aliased across
+  components, REPRO017 order-dependent reductions over unordered
+  containers, REPRO018 environment reads in worker-reachable code).
 
 Findings reuse the lint engine's :class:`~repro.analysis.lint.engine.Finding`
 record and honour the same ``# repro: noqa REPROxxx`` suppression
-comments; :mod:`~.baseline` adds committed-baseline ratcheting for CI.
+comments; REPRO013 additionally honours a ``# repro: process-local``
+annotation on a global's defining line for state that is *deliberately*
+per-process; :mod:`~.baseline` adds committed-baseline ratcheting for
+CI.  ``select`` accepts both single ids and inclusive ranges
+(``REPRO013-REPRO018``).
 """
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis.lint.engine import Finding, _is_suppressed
@@ -34,6 +46,7 @@ from repro.analysis.flow.baseline import (
     write_baseline,
 )
 from repro.analysis.flow.determinism import check_determinism
+from repro.analysis.flow.parallel import check_parallel
 from repro.analysis.flow.project import Project
 from repro.analysis.flow.rng import check_rng
 from repro.analysis.flow.shapes import check_shapes
@@ -49,23 +62,48 @@ FLOW_RULES = {
                 "contracts",
     "REPRO011": "no unsorted filesystem/set enumeration feeding computation",
     "REPRO012": "no wall-clock reads outside repro.obs",
+    "REPRO013": "no module-global mutable state written after import time "
+                "(annotate '# repro: process-local' to justify)",
+    "REPRO014": "no parent RNG stream crossing a process boundary; spawn "
+                "children or pass seeds",
+    "REPRO015": "worker payloads must be picklable (no lambdas or closures "
+                "over locks/files/generators)",
+    "REPRO016": "no in-place parameter mutation read by another component "
+                "after the call",
+    "REPRO017": "no order-dependent float reduction over sets or "
+                "merge-built dicts",
+    "REPRO018": "no os.environ/tempfile/cwd reads in worker-reachable "
+                "functions",
 }
 
-_ENGINES = (check_rng, check_shapes, check_determinism)
+_ENGINES = (check_rng, check_shapes, check_determinism, check_parallel)
+
+_RANGE_RE = re.compile(r"^(REPRO)(\d+)-(?:REPRO)?(\d+)$", re.IGNORECASE)
 
 
 def _selected(select: Optional[Iterable[str]]) -> Sequence[str]:
     if select is None:
         return tuple(FLOW_RULES)
     chosen = []
-    for rule_id in select:
-        rule_id = rule_id.strip().upper()
-        if rule_id not in FLOW_RULES:
-            raise ConfigurationError(
-                f"unknown flow rule {rule_id!r}; known: "
-                f"{', '.join(FLOW_RULES)}"
-            )
-        chosen.append(rule_id)
+    for token in select:
+        token = token.strip().upper()
+        match = _RANGE_RE.match(token)
+        if match is not None:
+            lo, hi = int(match.group(2)), int(match.group(3))
+            if hi < lo:
+                raise ConfigurationError(
+                    f"empty flow rule range {token!r}"
+                )
+            expanded = [f"REPRO{i:03d}" for i in range(lo, hi + 1)]
+        else:
+            expanded = [token]
+        for rule_id in expanded:
+            if rule_id not in FLOW_RULES:
+                raise ConfigurationError(
+                    f"unknown flow rule {rule_id!r}; known: "
+                    f"{', '.join(FLOW_RULES)}"
+                )
+            chosen.append(rule_id)
     return tuple(chosen)
 
 

@@ -21,7 +21,7 @@ import ast
 from typing import Iterator, Optional
 
 from repro.analysis.lint.engine import Finding
-from repro.analysis.flow.project import ModuleInfo, Project
+from repro.analysis.flow.project import ModuleInfo, Project, call_keyword
 
 #: Fully qualified enumeration calls whose order is filesystem-defined.
 _FS_ENUMERATORS = {
@@ -65,19 +65,59 @@ def _finding(rule_id: str, module: ModuleInfo, node: ast.AST,
     )
 
 
+#: Builtins whose value varies between runs/processes — useless as sort keys.
+_NONDET_KEY_BUILTINS = {"id", "hash"}
+
+#: Call prefixes that make a ``key=`` callable non-deterministic.
+_NONDET_KEY_PREFIXES = ("random.", "numpy.random.", "time.", "uuid.",
+                        "secrets.")
+
+
+def _nondeterministic_key(module: ModuleInfo, key: ast.expr) -> bool:
+    """Whether a ``sorted(key=...)`` argument defeats the ordering.
+
+    ``key=id`` sorts by memory address, ``key=hash`` is
+    ``PYTHONHASHSEED``-dependent for strings, and a lambda that draws
+    randomness or reads the clock produces a fresh permutation per run —
+    the ``sorted(...)`` wrapper then launders an unordered enumeration
+    without actually ordering it.
+    """
+    resolved = module.resolve(key)
+    if resolved in _NONDET_KEY_BUILTINS:
+        return True
+    if resolved is not None and resolved.startswith(_NONDET_KEY_PREFIXES):
+        return True  # a bare reference like ``key=random.random``
+    if isinstance(key, ast.Lambda):
+        for node in ast.walk(key.body):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.resolve(node.func)
+            if target in _NONDET_KEY_BUILTINS:
+                return True
+            if target is not None and target.startswith(
+                _NONDET_KEY_PREFIXES
+            ):
+                return True
+    return False
+
+
 def _ordered_by_ancestor(module: ModuleInfo, node: ast.AST) -> bool:
-    """Whether ``node`` flows into ``sorted(...)`` within its statement.
+    """Whether ``node`` flows into a genuine ``sorted(...)`` in its statement.
 
     Climbs the parent chain so both the direct ``sorted(path.glob(...))``
     and the comprehension form ``sorted(p for p in path.rglob(...))``
-    count as ordered.
+    count as ordered.  A ``sorted(..., key=...)`` whose key is itself
+    non-deterministic (``key=id``, ``key=lambda _: random()``) does not
+    count — it permutes rather than orders.
     """
     for ancestor in module.ancestors(node):
         if isinstance(ancestor, ast.Call):
             func = ancestor.func
             name = func.id if isinstance(func, ast.Name) else None
             if name == "sorted":
-                return True
+                key = call_keyword(ancestor, "key")
+                if key is None or not _nondeterministic_key(module, key):
+                    return True
         if isinstance(ancestor, ast.stmt):
             return False
     return False

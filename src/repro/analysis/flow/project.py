@@ -14,7 +14,14 @@ This module builds that shared substrate once per run:
   unambiguous;
 * :class:`Project` — the loaded module set plus name-resolution helpers
   (:meth:`Project.resolve`, :meth:`Project.lookup_function`) and parent
-  links (:meth:`ModuleInfo.parent`) for context-sensitive checks.
+  links (:meth:`ModuleInfo.parent`) for context-sensitive checks;
+* :class:`GlobalRecord` and :attr:`Project.module_globals` — every
+  module-scope binding, so the parallel-safety rules can see shared
+  state a worker process would fork-inherit;
+* the scope machinery (:func:`iter_scope_nodes`, :func:`bound_names`,
+  :func:`free_loads`, :func:`enclosing_scopes`) — a closure-capture
+  view of nested lambdas/defs that both the REPRO009 shared-stream rule
+  and the process-boundary rules (REPRO014/015) walk.
 
 Resolution is deliberately conservative: a name that cannot be traced to
 a unique definition resolves to ``None`` and downstream rules stay quiet
@@ -24,11 +31,22 @@ rather than guess.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.lint.engine import iter_python_files, suppressed_rules
+
+#: Annotation that declares a module-global as deliberate per-process
+#: state (REPRO013); place it on the global's defining line together
+#: with a justification, e.g. ``_CACHE: dict = {}  # repro: process-local
+#: — rebuilt identically by every worker import``.
+_PROCESS_LOCAL_RE = re.compile(r"#\s*repro:\s*process-local", re.IGNORECASE)
+
+#: Scope-introducing AST nodes (comprehensions stay transparent: their
+#: bodies run under the enclosing scope's control flow).
+SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 
 def module_dotted_name(path: Path) -> str:
@@ -91,6 +109,98 @@ class FunctionRecord:
     def full_name(self) -> str:
         return f"{self.module.name}.{self.qualname}"
 
+    def attribute_writes(self) -> List[Tuple[str, str, ast.AST]]:
+        """``(base_name, attribute, node)`` for every ``name.attr = ...``.
+
+        Only writes in this function's own scope (nested defs track their
+        own), with the base resolved through subscripts so
+        ``grid[i].total = v`` reports base ``grid``.
+        """
+        writes: List[Tuple[str, str, ast.AST]] = []
+        for node in iter_scope_nodes(self.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    base = target.value
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Name):
+                        writes.append((base.id, target.attr, node))
+        return writes
+
+
+@dataclass
+class GlobalRecord:
+    """One module-scope binding (the state a forked worker inherits)."""
+
+    module: "ModuleInfo"
+    name: str
+    node: ast.stmt
+    mutable_literal: bool  #: initialiser is a known mutable container
+
+    def key(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+    @property
+    def process_local(self) -> bool:
+        """Whether the defining line carries ``# repro: process-local``."""
+        return self.node.lineno in self.module.process_local_lines
+
+
+#: Call targets whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "bytearray", "collections.defaultdict",
+    "collections.OrderedDict", "collections.Counter", "collections.deque",
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full", "numpy.array",
+}
+
+
+def _is_mutable_literal(module: "ModuleInfo", value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return module.resolve(value.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _collect_globals(module: "ModuleInfo") -> Iterator[GlobalRecord]:
+    """Module-scope name bindings, including ones under top-level if/try."""
+
+    def walk(statements: Iterable[ast.stmt]) -> Iterator[GlobalRecord]:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        yield GlobalRecord(
+                            module=module, name=target.id, node=statement,
+                            mutable_literal=_is_mutable_literal(
+                                module, statement.value),
+                        )
+            elif (isinstance(statement, ast.AnnAssign)
+                    and isinstance(statement.target, ast.Name)
+                    and statement.value is not None):
+                yield GlobalRecord(
+                    module=module, name=statement.target.id, node=statement,
+                    mutable_literal=_is_mutable_literal(
+                        module, statement.value),
+                )
+            elif isinstance(statement, ast.If):
+                yield from walk(statement.body)
+                yield from walk(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                yield from walk(statement.body)
+                yield from walk(statement.orelse)
+                yield from walk(statement.finalbody)
+                for handler in statement.handlers:
+                    yield from walk(handler.body)
+
+    return walk(module.tree.body)
+
 
 @dataclass
 class ModuleInfo:
@@ -102,6 +212,7 @@ class ModuleInfo:
     source: str
     aliases: Dict[str, str] = field(default_factory=dict)
     suppressions: dict = field(default_factory=dict)
+    process_local_lines: Set[int] = field(default_factory=set)
     _parents: Dict[int, ast.AST] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -109,6 +220,12 @@ class ModuleInfo:
             self.aliases = _import_aliases(self.tree)
         if not self.suppressions:
             self.suppressions = suppressed_rules(self.source.splitlines())
+        if not self.process_local_lines:
+            self.process_local_lines = {
+                lineno
+                for lineno, text in enumerate(self.source.splitlines(), 1)
+                if _PROCESS_LOCAL_RE.search(text)
+            }
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[id(child)] = parent
@@ -146,6 +263,80 @@ class ModuleInfo:
         return any(name in parts for name in names)
 
 
+# ----------------------------------------------------------------------
+# Scope walking (the closure-capture substrate)
+# ----------------------------------------------------------------------
+def iter_scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``scope``'s own execution scope, nested scopes excluded.
+
+    Nested ``def``/``lambda`` nodes are yielded (so a scan can *see* the
+    hand-off of a closure) but not descended into — their bodies run
+    under their own control flow and get their own scan.  Comprehensions
+    are transparent: their bodies execute eagerly under ``scope``.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def bound_names(scope: ast.AST) -> Set[str]:
+    """Names bound directly in ``scope``: parameters, stores, imports.
+
+    Names declared ``global``/``nonlocal`` are *not* local bindings and
+    are excluded, so an assignment under a ``global`` declaration still
+    reads as a module-global write.
+    """
+    bound: Set[str] = set()
+    escaped: Set[str] = set()
+    args = getattr(scope, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            bound.add(arg.arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None:
+                bound.add(arg.arg)
+    for node in iter_scope_nodes(scope):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaped.update(node.names)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+    return bound - escaped
+
+
+def free_loads(scope: ast.AST) -> Set[str]:
+    """Names ``scope`` reads but does not bind itself — its captures.
+
+    The walk descends into nested scopes (a doubly nested lambda still
+    captures the outermost variable), so this over-approximates: a name
+    a nested scope re-binds locally still counts as free here.  Rules
+    using this stay conservative by only *intersecting* the result with
+    names they already track in the enclosing scope.
+    """
+    loads: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loads.add(node.id)
+    return loads - bound_names(scope)
+
+
+def enclosing_scopes(module: ModuleInfo, node: ast.AST) -> List[ast.AST]:
+    """Function/lambda ancestors of ``node``, innermost first."""
+    return [ancestor for ancestor in module.ancestors(node)
+            if isinstance(ancestor, SCOPE_NODES)]
+
+
 class Project:
     """The parsed module set with cross-module name resolution."""
 
@@ -156,12 +347,16 @@ class Project:
         self.functions_by_short: Dict[str, List[FunctionRecord]] = {}
         #: fully qualified name -> definition
         self.functions_by_full: Dict[str, FunctionRecord] = {}
+        #: ``module.NAME`` -> module-scope binding record
+        self.module_globals: Dict[str, GlobalRecord] = {}
         for module in self.modules:
             for record in _collect_functions(module):
                 self.functions_by_short.setdefault(
                     record.short_name, []
                 ).append(record)
                 self.functions_by_full[record.full_name()] = record
+            for global_record in _collect_globals(module):
+                self.module_globals[global_record.key()] = global_record
 
     @classmethod
     def load(cls, paths: Iterable[str]) -> "Project":
@@ -223,6 +418,18 @@ class Project:
             if len(methods) == 1 and len(candidates) == 1:
                 return methods[0]
         return None
+
+    def resolve_global(self, module: ModuleInfo,
+                       name: str) -> Optional[GlobalRecord]:
+        """The module-scope binding a bare name refers to, if any.
+
+        A name imported via ``from m import NAME`` resolves to ``m``'s
+        record; an unimported name resolves within ``module`` itself.
+        """
+        target = module.aliases.get(name)
+        if target is not None:
+            return self.module_globals.get(target)
+        return self.module_globals.get(f"{module.name}.{name}")
 
     def return_expressions(self, record: FunctionRecord) -> List[ast.expr]:
         """Every non-``None`` returned expression of a function body."""

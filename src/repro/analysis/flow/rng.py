@@ -38,7 +38,10 @@ from repro.analysis.lint.engine import Finding
 from repro.analysis.flow.project import (
     ModuleInfo,
     Project,
+    bound_names,
     call_keyword,
+    enclosing_scopes,
+    iter_scope_nodes,
 )
 
 #: Fully qualified constructors that mint a generator from a seed argument.
@@ -105,17 +108,31 @@ def _unseeded_call(module: ModuleInfo, node: ast.expr) -> Optional[str]:
 
 def _factory_is_unseeded(project: Project, module: ModuleInfo,
                          factory: ast.expr,
-                         _depth: int = 0) -> Optional[str]:
+                         _seen: Optional[Set[str]] = None) -> Optional[str]:
     """Whether a ``default_factory`` expression yields an unseeded stream.
 
     Handles the three indirections: a bare reference to a constructor
     (called with zero arguments by the dataclass machinery), a lambda
     whose body constructs unseeded, and a project function whose return
-    expressions do — followed one call deep per step, up to a small
-    recursion bound.
+    expressions do.  The walk is unbounded in depth but cycle-guarded:
+    each project function is followed at most once per chain, so
+    mutually recursive factories terminate quietly.
     """
-    if _depth > 4:
+    seen = set() if _seen is None else _seen
+
+    def follow(record) -> Optional[str]:
+        name = record.full_name()
+        if name in seen:
+            return None
+        seen.add(name)
+        for expr in project.return_expressions(record):
+            verdict = _factory_is_unseeded(project, record.module, expr, seen)
+            if verdict is None and isinstance(expr, ast.Call):
+                verdict = _unseeded_call(record.module, expr)
+            if verdict is not None:
+                return verdict
         return None
+
     # Bare reference: dataclasses call it with no arguments.
     if isinstance(factory, (ast.Name, ast.Attribute)):
         target = module.resolve(factory)
@@ -123,29 +140,17 @@ def _factory_is_unseeded(project: Project, module: ModuleInfo,
             return target
         record = project.lookup_function(module, factory)
         if record is not None and not record.parameters():
-            for expr in project.return_expressions(record):
-                verdict = _factory_is_unseeded(
-                    project, record.module, expr, _depth + 1
-                )
-                if verdict is None and isinstance(expr, ast.Call):
-                    verdict = _unseeded_call(record.module, expr)
-                if verdict is not None:
-                    return verdict
+            return follow(record)
         return None
     if isinstance(factory, ast.Lambda):
-        return _factory_is_unseeded(project, module, factory.body, _depth + 1)
+        return _factory_is_unseeded(project, module, factory.body, seen)
     if isinstance(factory, ast.Call):
         direct = _unseeded_call(module, factory)
         if direct is not None:
             return direct
         record = project.lookup_function(module, factory.func)
         if record is not None and not factory.args and not factory.keywords:
-            for expr in project.return_expressions(record):
-                verdict = _factory_is_unseeded(
-                    project, record.module, expr, _depth + 1
-                )
-                if verdict is not None:
-                    return verdict
+            return follow(record)
     return None
 
 
@@ -232,19 +237,22 @@ def _check_global_state(module: ModuleInfo) -> Iterator[Finding]:
 # REPRO009 — one stream handed to several components
 # ----------------------------------------------------------------------
 def _rng_locals(module: ModuleInfo, fn: ast.AST) -> Set[str]:
-    """Names in ``fn`` that (likely) hold a generator stream.
+    """Names in ``fn``'s own scope that (likely) hold a generator stream.
 
     A parameter named like an RNG, or a local assigned from a generator
     constructor.  Children of ``spawn_rngs``/``.spawn`` are *distinct*
     streams, so subscripted/unpacked spawn results are excluded — handing
     two different children to two components is the sanctioned pattern.
+    Nested defs/lambdas track their own locals (and capture this scope's
+    via :func:`_visible_streams`).
     """
     names: Set[str] = set()
-    args = fn.args
-    for arg in args.posonlyargs + args.args + args.kwonlyargs:
-        if arg.arg in RNG_PARAM_NAMES:
-            names.add(arg.arg)
-    for node in ast.walk(fn):
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg in RNG_PARAM_NAMES:
+                names.add(arg.arg)
+    for node in iter_scope_nodes(fn):
         if not isinstance(node, ast.Assign) or len(node.targets) != 1:
             continue
         target = node.targets[0]
@@ -262,6 +270,21 @@ def _rng_locals(module: ModuleInfo, fn: ast.AST) -> Set[str]:
                 names.discard(target.id)  # a *list* of independent children
         elif isinstance(value, ast.Name) and value.id in names:
             names.add(target.id)
+    return names
+
+
+def _visible_streams(module: ModuleInfo, fn: ast.AST) -> Set[str]:
+    """Streams ``fn`` can hand off: its own plus ones captured by closure.
+
+    A nested def/lambda that closes over an enclosing function's stream
+    shares that *one* stream with whatever else uses it — exactly the
+    hand-off the PR 5 analyzer could not see.  Names the nested scope
+    re-binds locally shadow the capture and are excluded.
+    """
+    names = _rng_locals(module, fn)
+    shadowed = bound_names(fn) - names
+    for enclosing in enclosing_scopes(module, fn):
+        names |= _rng_locals(module, enclosing) - shadowed
     return names
 
 
@@ -378,6 +401,32 @@ def _consumers(module: ModuleInfo, project: Project, fn: ast.AST,
     return consumers
 
 
+def _shared_in_scope(project: Project, module: ModuleInfo, fn: ast.AST,
+                     where: str) -> Iterator[Finding]:
+    """Findings for one scope, captured streams included."""
+    for name in sorted(_visible_streams(module, fn)):
+        consumers = _consumers(module, project, fn, name)
+        shared: Dict[str, ast.Call] = {}
+        for i, first in enumerate(consumers):
+            for second in consumers[i + 1:]:
+                if first.label == second.label:
+                    continue  # one component, e.g. called in a loop
+                if _mutually_exclusive(first, second):
+                    continue  # dispatch arms; only one runs
+                shared.setdefault(first.label, first.call)
+                shared.setdefault(second.label, second.call)
+        if len(shared) >= 2:
+            labels = ", ".join(sorted(shared))
+            anchor = min(shared.values(), key=lambda c: c.lineno)
+            yield _finding(
+                "REPRO009", module, anchor,
+                f"in {where}: stream '{name}' is handed to "
+                f"{len(shared)} components ({labels}); adding a draw "
+                f"in one perturbs the others — derive children via "
+                f"spawn_rngs/Generator.spawn",
+            )
+
+
 def _check_shared_stream(project: Project,
                          module: ModuleInfo) -> Iterator[Finding]:
     for record in (r for rs in project.functions_by_short.values()
@@ -385,27 +434,21 @@ def _check_shared_stream(project: Project,
         fn = record.node
         if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        for name in sorted(_rng_locals(module, fn)):
-            consumers = _consumers(module, project, fn, name)
-            shared: Dict[str, ast.Call] = {}
-            for i, first in enumerate(consumers):
-                for second in consumers[i + 1:]:
-                    if first.label == second.label:
-                        continue  # one component, e.g. called in a loop
-                    if _mutually_exclusive(first, second):
-                        continue  # dispatch arms; only one runs
-                    shared.setdefault(first.label, first.call)
-                    shared.setdefault(second.label, second.call)
-            if len(shared) >= 2:
-                labels = ", ".join(sorted(shared))
-                anchor = min(shared.values(), key=lambda c: c.lineno)
-                yield _finding(
-                    "REPRO009", module, anchor,
-                    f"in {record.qualname}: stream '{name}' is handed to "
-                    f"{len(shared)} components ({labels}); adding a draw "
-                    f"in one perturbs the others — derive children via "
-                    f"spawn_rngs/Generator.spawn",
-                )
+        yield from _shared_in_scope(project, module, fn, record.qualname)
+    # Lambdas are scopes of their own; a dispatch-table lambda that
+    # closes over one stream and feeds it to two components is a
+    # hand-off the function scan above deliberately skips.
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Lambda):
+            enclosing = enclosing_scopes(module, node)
+            owner = next(
+                (getattr(scope, "name", "<lambda>") for scope in enclosing
+                 if not isinstance(scope, ast.Lambda)),
+                "<module>",
+            )
+            yield from _shared_in_scope(
+                project, module, node, f"{owner}.<lambda>"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,10 @@ The propagation is deliberately modest and sound-by-silence:
 * a parameter of a ``@shaped``-decorated function adopts its declared
   dims inside that function's body;
 * ``x.T`` / ``np.transpose(x)`` reverse known dims; plain name
-  assignment copies them; anything else forgets them.
+  assignment copies them; elementwise arithmetic (``x + y``, ``x * 2``)
+  preserves them; tuple unpacking (``a, b = f(x)``, ``a, b = x, y.T``)
+  propagates elementwise through the callee's return tuples; anything
+  else forgets them.
 
 A mismatch is only reported when *both* sides are known and definitely
 incompatible: different arity, or the same symbol multiset in a
@@ -135,6 +138,17 @@ def _transposed(dims: Dims) -> Dims:
     return tuple(reversed(dims))
 
 
+def _is_scalar_expr(node: ast.expr) -> bool:
+    """A literal number (possibly signed): broadcasts without reshaping."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex)) \
+            and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.UAdd, ast.USub)):
+        return _is_scalar_expr(node.operand)
+    return False
+
+
 def _expr_dims(module: ModuleInfo, specs: Dict[str, List[ShapeSpec]],
                env: Dict[str, Dims], node: ast.expr) -> Optional[Dims]:
     """Known symbolic dims of an expression, or ``None``."""
@@ -143,6 +157,16 @@ def _expr_dims(module: ModuleInfo, specs: Dict[str, List[ShapeSpec]],
     if isinstance(node, ast.Attribute) and node.attr == "T":
         inner = _expr_dims(module, specs, env, node.value)
         return _transposed(inner) if inner is not None else None
+    if isinstance(node, ast.BinOp) and not isinstance(node.op, ast.MatMult):
+        # Elementwise arithmetic preserves shape; scalars broadcast.
+        left = _expr_dims(module, specs, env, node.left)
+        right = _expr_dims(module, specs, env, node.right)
+        if left is not None and (left == right or _is_scalar_expr(node.right)):
+            return left
+        if right is not None and left is None \
+                and _is_scalar_expr(node.left):
+            return right
+        return None
     if isinstance(node, ast.Call):
         resolved = module.resolve(node.func)
         if resolved in ("numpy.transpose", "numpy.matrix_transpose"):
@@ -181,6 +205,46 @@ def _incompatible(passed: Dims, declared: Dims) -> Optional[str]:
     return None
 
 
+def _tuple_element_dims(project: Project, module: ModuleInfo,
+                        specs: Dict[str, List[ShapeSpec]],
+                        env: Dict[str, Dims], value: ast.expr,
+                        n: int) -> Optional[List[Optional[Dims]]]:
+    """Per-element dims of a tuple-valued expression, or ``None``.
+
+    Handles the literal form ``a, b = x, y.T`` directly and the call
+    form ``a, b = f(x)`` by evaluating every return tuple of the
+    resolved callee under the callee's own declared parameter dims;
+    disagreeing returns degrade elementwise to unknown.
+    """
+    if isinstance(value, ast.Tuple):
+        if len(value.elts) != n:
+            return None
+        return [_expr_dims(module, specs, env, elt) for elt in value.elts]
+    if isinstance(value, ast.Call):
+        record = project.lookup_function(module, value.func)
+        if record is None:
+            return None
+        callee_env: Dict[str, Dims] = {}
+        for spec in specs.get(record.short_name, []):
+            if spec.record is record:
+                callee_env = dict(spec.params)
+        returns = project.return_expressions(record)
+        if not returns:
+            return None
+        dims: Optional[List[Optional[Dims]]] = None
+        for ret in returns:
+            if not (isinstance(ret, ast.Tuple) and len(ret.elts) == n):
+                return None
+            these = [_expr_dims(record.module, specs, callee_env, elt)
+                     for elt in ret.elts]
+            if dims is None:
+                dims = these
+            else:
+                dims = [a if a == b else None for a, b in zip(dims, these)]
+        return dims
+    return None
+
+
 def _check_function(project: Project, module: ModuleInfo,
                     record: FunctionRecord,
                     specs: Dict[str, List[ShapeSpec]]) -> Iterator[Finding]:
@@ -198,12 +262,26 @@ def _check_function(project: Project, module: ModuleInfo,
 
         def visit_Assign(self, node: ast.Assign) -> None:
             self.generic_visit(node)
-            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            if len(node.targets) != 1:
+                return
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
                 dims = _expr_dims(module, specs, env, node.value)
                 if dims is not None:
-                    env[node.targets[0].id] = dims
+                    env[target.id] = dims
                 else:
-                    env.pop(node.targets[0].id, None)
+                    env.pop(target.id, None)
+            elif isinstance(target, ast.Tuple) and all(
+                isinstance(elt, ast.Name) for elt in target.elts
+            ):
+                elements = _tuple_element_dims(
+                    project, module, specs, env, node.value, len(target.elts)
+                ) or [None] * len(target.elts)
+                for elt, dims in zip(target.elts, elements):
+                    if dims is not None:
+                        env[elt.id] = dims
+                    else:
+                        env.pop(elt.id, None)
 
         def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
             self.generic_visit(node)

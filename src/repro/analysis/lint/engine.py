@@ -122,7 +122,7 @@ class LintRule:
         )
 
 
-_REGISTRY: Dict[str, Type[LintRule]] = {}
+_REGISTRY: Dict[str, Type[LintRule]] = {}  # repro: process-local — rule-class registry populated at import time by decorators; identical in every process
 
 
 def register_rule(cls: Type[LintRule]) -> Type[LintRule]:

@@ -184,7 +184,7 @@ _RL_FRAMEWORKS = ("CrowdRL", "M1", "M2", "M3")
 #: Offline-trained policy weights, keyed by pool shape.  The paper trains
 #: its policy offline once and reuses it online (Section VI-A4); caching
 #: mirrors that and keeps figure sweeps fast.
-_PRETRAINED_POLICIES: dict = {}
+_PRETRAINED_POLICIES: dict = {}  # repro: process-local — per-process cache; sharded workers retrain from the same seed, so a cold cache changes wall-time only, never results
 
 
 def clear_pretrained_policies() -> None:

@@ -278,7 +278,7 @@ class NullRegistry(MetricsRegistry):
 #: The process-wide disabled registry (shared; carries no state).
 NULL_REGISTRY = NullRegistry()
 
-_ACTIVE: MetricsRegistry = NULL_REGISTRY
+_ACTIVE: MetricsRegistry = NULL_REGISTRY  # repro: process-local — observability sink; each worker wires its own registry at startup and metrics merge by aggregation, not shared state
 
 
 def get_registry() -> MetricsRegistry:

@@ -1,0 +1,31 @@
+"""REPRO011 regression fixture: ``sorted(key=...)`` that does not order.
+
+The PR 5 analyzer accepted any enclosing ``sorted(...)`` as ordering.
+``key=id`` sorts by memory address and a random key draws a fresh
+permutation per run — both launder filesystem order through ``sorted``
+without fixing it.  Two hits; deterministic keys stay silent.
+"""
+
+import glob
+import os
+import random
+
+
+def hit_sort_by_id(path):
+    """key=id sorts by memory address (flagged)."""
+    return sorted(os.listdir(path), key=id)
+
+
+def hit_sort_by_random(pattern):
+    """A random key is a fresh permutation per run (flagged)."""
+    return sorted(glob.glob(pattern), key=lambda name: random.random())
+
+
+def clean_plain_sorted(path):
+    """Default lexicographic order (silent)."""
+    return sorted(os.listdir(path))
+
+
+def clean_deterministic_key(path):
+    """A deterministic key orders genuinely (silent)."""
+    return sorted(os.listdir(path), key=str.lower)

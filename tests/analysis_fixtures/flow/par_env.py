@@ -1,0 +1,38 @@
+"""REPRO018 fixture: environment reads inside worker-reachable code.
+
+Two hits: an ``os.environ`` subscript in the worker body itself and an
+``os.getenv`` in a helper the worker calls.  The worker that takes
+explicit settings, and the driver-only env read, stay silent.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _resolve_scratch_dir():
+    """Called from the worker — inherits the child environment (flagged)."""
+    return os.getenv("REPRO_SCRATCH", "/tmp")
+
+
+def shard_worker(point):
+    """The worker entry: its env subscript below is flagged."""
+    tag = os.environ["REPRO_RUN_TAG"]
+    return point, tag, _resolve_scratch_dir()
+
+
+def explicit_worker(point, scratch_dir, tag):
+    """A worker threading settings through its payload (silent)."""
+    return point, tag, scratch_dir
+
+
+def launch(points):
+    """The driver submits both workers."""
+    with ProcessPoolExecutor() as pool:
+        flagged = list(pool.map(shard_worker, points))
+        quiet = list(pool.map(explicit_worker, points))
+    return flagged, quiet
+
+
+def driver_only_env():
+    """An env read never reachable from a worker (silent)."""
+    return os.getenv("REPRO_DRIVER_FLAG")

@@ -1,0 +1,48 @@
+"""REPRO016 fixture: in-place mutation aliased across components.
+
+One hit: a helper sorts its parameter in place and the caller then
+hands the same list to a *different* component.  The out-parameter
+accumulator repeatedly handed to one component, and the helper that
+returns a copy instead, stay silent.
+"""
+
+
+def _normalise(weights):
+    """Sorts its argument in place — a mutator."""
+    weights.sort()
+    return weights
+
+
+def _tally(totals, item):
+    """An out-parameter accumulator."""
+    totals[item] = totals.get(item, 0) + 1
+
+
+def _sorted_copy(weights):
+    """Returns a new list; the argument is untouched."""
+    return sorted(weights)
+
+
+def publish(values):
+    """A distinct downstream component."""
+    return list(values)
+
+
+def hit_aliased_mutation(weights):
+    """Mutates, then hands the same object to another component (flagged)."""
+    _normalise(weights)
+    return publish(weights)
+
+
+def clean_accumulator(items):
+    """Repeated hand-off to one component is an accumulator (silent)."""
+    totals = {}
+    for item in items:
+        _tally(totals, item)
+    return totals
+
+
+def clean_copy(weights):
+    """The helper returns a new list instead of mutating (silent)."""
+    ordered = _sorted_copy(weights)
+    return publish(ordered)

@@ -1,0 +1,49 @@
+"""REPRO015 fixture: payloads that only explode inside the worker.
+
+Three hits: a lambda payload, a nested worker closing over a thread
+lock, and an open file handle shipped as a worker argument.  The
+module-level function taking plain picklable arguments stays silent.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def scale_point(point, factor):
+    """A picklable module-level worker body."""
+    return point * factor
+
+
+def hit_lambda_payload(points):
+    """Submitting a lambda (flagged)."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda point: point * 2, points))
+
+
+def hit_captured_lock(points):
+    """A nested worker capturing a thread lock (flagged)."""
+    guard = threading.Lock()
+
+    def guarded(point):
+        with guard:
+            return point * 2
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(guarded, points))
+
+
+def hit_shipped_handle(path, points):
+    """Shipping an open file handle to the pool (flagged)."""
+    sink = open(path, "w")
+    futures = []
+    with ProcessPoolExecutor() as pool:
+        for point in points:
+            futures.append(pool.submit(scale_point, point, sink))
+    return futures
+
+
+def clean_module_level(points):
+    """A module-level function and plain arguments (silent)."""
+    factors = [2.0 for _point in points]
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(scale_point, points, factors))

@@ -1,0 +1,42 @@
+"""REPRO017 fixture: order-dependent reductions over unordered containers.
+
+Two hits: a float accumulation while iterating a set-typed local, and a
+``sum()`` over a merge-built dict's values.  The ``sorted(...)``
+iteration and the ``math.fsum`` reduction stay silent.
+"""
+
+import math
+
+
+def hit_set_accumulation(values):
+    """+= while iterating a set (flagged)."""
+    pending = set(values)
+    total = 0.0
+    for value in pending:
+        total += value
+    return total
+
+
+def hit_merged_dict_sum(shards):
+    """sum() over a dict assembled by .update() merges (flagged)."""
+    merged = {}
+    for shard in shards:
+        merged.update(shard)
+    return sum(merged.values())
+
+
+def clean_sorted_iteration(values):
+    """Iterating sorted(...) pins the order (silent)."""
+    pending = set(values)
+    total = 0.0
+    for value in sorted(pending):
+        total += value
+    return total
+
+
+def clean_fsum(shards):
+    """math.fsum is exact and order-independent (silent)."""
+    merged = {}
+    for shard in shards:
+        merged.update(shard)
+    return math.fsum(merged.values())

@@ -1,0 +1,63 @@
+"""REPRO014 fixture: parent RNG streams crossing process boundaries.
+
+Three hits: a parent stream pickled directly, one passed as a submit
+argument, and a nested worker closing over the parent stream.  Spawned
+children and plain per-worker seeds stay silent.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def simulate(stream, scale):
+    """A worker body taking whatever stream it is given."""
+    return stream.random() * scale
+
+
+def simulate_from_seed(seed):
+    """A worker body that builds its own stream from a plain seed."""
+    return np.random.default_rng(seed).random()
+
+
+def hit_pickled_stream(seed):
+    """Pickling the parent stream itself (flagged)."""
+    rng = np.random.default_rng(seed)
+    return pickle.dumps(rng)
+
+
+def hit_submit_argument(seed, points):
+    """Passing the parent stream as a worker argument (flagged)."""
+    rng = np.random.default_rng(seed)
+    futures = []
+    with ProcessPoolExecutor() as pool:
+        for point in points:
+            futures.append(pool.submit(simulate, rng, point))
+    return futures
+
+
+def hit_nested_closure(seed, points):
+    """A nested worker closing over the parent stream (flagged)."""
+    rng = np.random.default_rng(seed)
+
+    def run_point(point):
+        return rng.random() + point
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_point, points))
+
+
+def clean_spawned_children(seed, points):
+    """Each worker gets its own spawned child stream (silent)."""
+    rng = np.random.default_rng(seed)
+    children = rng.spawn(len(points))
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate, children, points))
+
+
+def clean_seed_per_worker(seed, points):
+    """Workers rebuild their streams from plain seeds (silent)."""
+    offsets = [seed + index for index in range(len(points))]
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate_from_seed, offsets))

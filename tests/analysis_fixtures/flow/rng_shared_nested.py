@@ -1,0 +1,58 @@
+"""REPRO009 regression fixture: closure-captured streams.
+
+The PR 5 analyzer only scanned hand-offs in a function's *own* scope,
+so a nested def or dispatch lambda that closed over the enclosing
+stream and fed it to two components passed silently.  Two hits: a
+nested trial worker and a dispatch lambda, each sharing one captured
+stream across two components.  Spawned children and a single captured
+consumer stay silent.
+"""
+
+import numpy as np
+
+
+def observe(value=0.0, rng=None):
+    """Component A."""
+    return value + (rng.random() if rng is not None else 0.0)
+
+
+def perturb(value=0.0, rng=None):
+    """Component B."""
+    return value - (rng.random() if rng is not None else 0.0)
+
+
+def hit_nested_def(seed):
+    """The nested trial shares the captured parent stream (flagged)."""
+    rng = np.random.default_rng(seed)
+
+    def run_trial():
+        first = observe(rng=rng)
+        second = perturb(rng=rng)
+        return first + second
+
+    return run_trial
+
+
+def hit_dispatch_lambda(seed):
+    """A lambda handing one captured stream to two components (flagged)."""
+    rng = np.random.default_rng(seed)
+    return lambda x: observe(rng=rng) + perturb(rng=rng) + x
+
+
+def clean_spawned_children(seed):
+    """Each component gets its own spawned child (silent)."""
+    rng = np.random.default_rng(seed)
+    children = rng.spawn(2)
+
+    def run_trial():
+        first = observe(rng=children[0])
+        second = perturb(rng=children[1])
+        return first + second
+
+    return run_trial
+
+
+def clean_single_consumer(seed):
+    """One captured consumer is ownership, not sharing (silent)."""
+    rng = np.random.default_rng(seed)
+    return lambda x: observe(rng=rng) + x

@@ -1,0 +1,60 @@
+"""REPRO007 regression fixture: factory chains beyond the old hop limit.
+
+The PR 5 walk gave up after four project-function hops, so a
+``default_factory`` that bottomed out in an unseeded constructor six
+hops away passed silently.  Two hits: the literal unseeded call at the
+bottom of the chain and the ``default_factory`` resolving through all
+six hops.  The mutually recursive factory pair exercises the cycle
+guard and stays silent.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _hop6():
+    """The bottom of the chain: a literal unseeded call (flagged)."""
+    return np.random.default_rng()
+
+
+def _hop5():
+    return _hop6()
+
+
+def _hop4():
+    return _hop5()
+
+
+def _hop3():
+    return _hop4()
+
+
+def _hop2():
+    return _hop3()
+
+
+def _hop1():
+    return _hop2()
+
+
+@dataclass
+class HitDeepFactory:
+    """The factory bottoms out six hops away (flagged)."""
+
+    _rng: np.random.Generator = field(default_factory=_hop1)
+
+
+def _ping():
+    return _pong()
+
+
+def _pong():
+    return _ping()
+
+
+@dataclass
+class CleanMutualRecursion:
+    """The cycle-guarded walk terminates quietly (silent)."""
+
+    _factory: object = field(default_factory=_ping)

@@ -1,0 +1,71 @@
+"""REPRO010 regression fixture: tuple unpacking and arithmetic.
+
+The PR 5 analyzer forgot dims at any ``a, b = ...`` assignment and at
+elementwise arithmetic, so a transposed matrix laundered through either
+passed silently.  Two hits: a transposed element received through
+tuple-unpacking a helper's return, and a transpose surviving scalar
+arithmetic.  The oriented element, a literal-tuple swap, and same-shape
+arithmetic stay silent.
+"""
+
+import numpy as np
+
+from repro.analysis.contracts import shaped
+
+
+@shaped(result="(n_objects, n_workers)")
+def build_answers(n_objects, n_workers):
+    """The answer matrix in the paper's |O| x |W| orientation."""
+    return np.zeros((n_objects, n_workers))
+
+
+@shaped(result="(n_workers, n_objects)")
+def build_confusion(n_workers, n_objects):
+    """A per-worker confusion block — the transposed orientation."""
+    return np.zeros((n_workers, n_objects))
+
+
+@shaped(answers="(n_objects, n_workers)")
+def per_worker_totals(answers):
+    """Consume the answer matrix in declared orientation."""
+    return answers.sum(axis=0)
+
+
+def _build_pair(n_objects, n_workers):
+    """Return (answers, confusion) as one tuple."""
+    return build_answers(n_objects, n_workers), \
+        build_confusion(n_workers, n_objects)
+
+
+def hit_unpacked_transposed():
+    """The transposed element of an unpacked pair (flagged)."""
+    answers, confusion = _build_pair(4, 3)
+    return per_worker_totals(confusion)
+
+
+def hit_arithmetic_transposed():
+    """A transpose surviving scalar arithmetic (flagged)."""
+    answers = build_answers(4, 3)
+    scaled = answers.T * 2.0
+    return per_worker_totals(scaled)
+
+
+def clean_unpacked_oriented():
+    """The correctly-oriented element of the same pair (silent)."""
+    answers, confusion = _build_pair(4, 3)
+    return per_worker_totals(answers)
+
+
+def clean_literal_swap():
+    """A literal tuple swap is evaluated right-hand-side first (silent)."""
+    answers = build_answers(4, 3)
+    confusion = build_confusion(3, 4)
+    answers, confusion = confusion, answers
+    return per_worker_totals(confusion)
+
+
+def clean_same_shape_arithmetic():
+    """Elementwise arithmetic of two same-shape arrays (silent)."""
+    answers = build_answers(4, 3)
+    centered = answers - answers
+    return per_worker_totals(centered)
