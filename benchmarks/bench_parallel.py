@@ -1,0 +1,160 @@
+"""Sharded-engine benchmarks: overhead, scaling, and bit-identity.
+
+Not a paper figure — these pin the cost model of
+:mod:`repro.harness.parallel`:
+
+* **Serial overhead.** Routing a sweep through the engine with
+  ``parallel=1`` (what every figure now does by default) must stay
+  within :data:`MAX_SERIAL_OVERHEAD` of running the same task in a bare
+  loop — the engine's bookkeeping (spawn-stream derivation, obs
+  counters, outcome assembly) may not tax the common path.  Asserted
+  in-code from min-of-repeats timings, like ``bench_obs.py``.
+* **Bit-identity under parallelism.** Worker count is a wall-clock
+  knob, never a results knob: ``parallel=2`` must reproduce the serial
+  values exactly.  (On the 1-core reference VM the parallel run is
+  *slower* — spawn start-up dominates — which is exactly what the
+  committed scaling JSON should show: honest numbers, not a linear
+  speedup this machine cannot produce.)
+
+``python benchmarks/bench_parallel.py`` regenerates
+``benchmarks/results/BENCH_parallel_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.harness.parallel import SweepOptions, run_sharded
+from repro.utils.rng import spawn_rng_at
+
+#: Acceptance bar: the engine's serial rung stays within 25% of a bare loop.
+MAX_SERIAL_OVERHEAD = 0.25
+
+#: Shards per measured sweep and the per-shard workload: a ~25 ms chain
+#: of (WORK x WORK) matmuls — light enough to keep min-of-repeats fast,
+#: heavy enough that per-shard engine bookkeeping (~0.1 ms) cannot
+#: dominate the ratio the overhead bound asserts.
+N_SHARDS = 4
+WORK = 220
+ITERS = 30
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_parallel_scaling.json"
+)
+
+
+def sweep_shard(payload, ctx):
+    """A deterministic, engine-shaped shard: seeded compute + a draw.
+
+    Module-level (spawn pickles it by reference) and a pure function of
+    the payload and the shard's engine stream, like every real shard.
+    """
+    matrix = ctx.rng.random((payload["work"], payload["work"]))
+    for _ in range(payload["iters"]):
+        matrix = matrix @ matrix
+        matrix /= np.abs(matrix).max()
+    return {"checksum": float(matrix.sum()), "draw": float(ctx.rng.random())}
+
+
+def _payloads():
+    return [{"work": WORK, "iters": ITERS}] * N_SHARDS
+
+
+def _bare_loop(seed):
+    """The engine-free reference: same shards, same streams, bare loop."""
+    values = []
+    for index in range(N_SHARDS):
+        rng = spawn_rng_at(seed, index)
+        matrix = rng.random((WORK, WORK))
+        for _ in range(ITERS):
+            matrix = matrix @ matrix
+            matrix /= np.abs(matrix).max()
+        values.append({"checksum": float(matrix.sum()),
+                       "draw": float(rng.random())})
+    return values
+
+
+def _engine_run(parallel, seed):
+    outcomes = run_sharded(
+        sweep_shard, _payloads(),
+        options=SweepOptions(parallel=parallel, seed=seed),
+    )
+    return [o.value for o in outcomes]
+
+
+def _min_of(repeats, fn, *args):
+    best, value = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn(*args)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def test_serial_engine_overhead_bounded():
+    """``parallel=1`` through the engine costs <25% over a bare loop."""
+    bare_s, bare = _min_of(3, _bare_loop, 3)
+    engine_s, engine = _min_of(3, _engine_run, 1, 3)
+    assert engine == bare  # the engine streams ARE the bare streams
+    overhead = engine_s / bare_s - 1.0
+    assert overhead < MAX_SERIAL_OVERHEAD, (
+        f"engine serial rung {engine_s:.4f}s vs bare loop {bare_s:.4f}s "
+        f"({overhead:.1%} > {MAX_SERIAL_OVERHEAD:.0%})"
+    )
+
+
+def test_parallel_two_is_bit_identical():
+    """Two spawn workers reproduce the serial values exactly."""
+    assert _engine_run(2, 3) == _engine_run(1, 3)
+
+
+def main():
+    bare_s, bare = _min_of(3, _bare_loop, 3)
+    runs = []
+    for parallel in (1, 2):
+        wall_s, values = _min_of(2, _engine_run, parallel, 3)
+        runs.append({
+            "parallel": parallel,
+            "wall_s": round(wall_s, 4),
+            "speedup_vs_serial_engine": None,
+            "bit_identical_to_bare_loop": values == bare,
+        })
+    for run in runs:
+        run["speedup_vs_serial_engine"] = round(
+            runs[0]["wall_s"] / run["wall_s"], 3
+        )
+    payload = {
+        "bench": "parallel_scaling",
+        "n_shards": N_SHARDS,
+        "work": WORK,
+        "machine": {
+            "system": platform.system(),
+            "release": platform.release(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "bare_loop_wall_s": round(bare_s, 4),
+        "serial_engine_overhead": round(runs[0]["wall_s"] / bare_s - 1.0, 4),
+        "runs": runs,
+        "note": (
+            "Worker count is a wall-clock knob only: every run is "
+            "bit-identical. Speedups below 1.0 mean spawn start-up "
+            "dominates on this machine (see cpu_count)."
+        ),
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=2)
+        sink.write("\n")
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,8 +19,13 @@ The propagation is deliberately modest and sound-by-silence:
 * ``x.T`` / ``np.transpose(x)`` reverse known dims; plain name
   assignment copies them; elementwise arithmetic (``x + y``, ``x * 2``)
   preserves them; tuple unpacking (``a, b = f(x)``, ``a, b = x, y.T``)
-  propagates elementwise through the callee's return tuples; anything
-  else forgets them.
+  propagates elementwise through the callee's return tuples;
+* container round-trips keep dims alive: ``list(x)`` / ``tuple(x)``
+  preserve the element structure numpy sees when the value is consumed
+  as an array again, and storing under a *constant* subscript key
+  (``cache["w"] = x.T`` ... ``f(cache["w"])``) is tracked like a named
+  binding — rebinding the container wholesale forgets its entries;
+* anything else forgets them.
 
 A mismatch is only reported when *both* sides are known and definitely
 incompatible: different arity, or the same symbol multiset in a
@@ -138,6 +143,39 @@ def _transposed(dims: Dims) -> Dims:
     return tuple(reversed(dims))
 
 
+#: Builtin container constructors that preserve the element structure an
+#: array regains when the value is consumed as an array again:
+#: ``np.asarray(list(x))`` has exactly ``x``'s shape, so a transposed
+#: matrix laundered through ``list(...)`` is still transposed.
+_SHAPE_PRESERVING_CONTAINERS = ("list", "tuple")
+
+
+def _const_subscript_key(node: ast.expr) -> Optional[str]:
+    """The environment key for ``name[<constant>]``, else ``None``.
+
+    Constant-key subscripts (``cache["w"]``, ``weights[0]``) behave like
+    named slots, so their dims are tracked under a composite key; the
+    bracket in the key keeps it disjoint from every plain variable name.
+    """
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = node.value
+    if not isinstance(base, ast.Name):
+        return None
+    key = node.slice
+    if isinstance(key, ast.Constant) and isinstance(key.value, (str, int)) \
+            and not isinstance(key.value, bool):
+        return f"{base.id}[{key.value!r}]"
+    return None
+
+
+def _forget_container_entries(env: Dict[str, Dims], name: str) -> None:
+    """Drop every tracked ``name[...]`` slot when ``name`` is rebound."""
+    prefix = f"{name}["
+    for key in [k for k in env if k.startswith(prefix)]:
+        del env[key]
+
+
 def _is_scalar_expr(node: ast.expr) -> bool:
     """A literal number (possibly signed): broadcasts without reshaping."""
     if isinstance(node, ast.Constant):
@@ -154,6 +192,9 @@ def _expr_dims(module: ModuleInfo, specs: Dict[str, List[ShapeSpec]],
     """Known symbolic dims of an expression, or ``None``."""
     if isinstance(node, ast.Name):
         return env.get(node.id)
+    subscript_key = _const_subscript_key(node)
+    if subscript_key is not None:
+        return env.get(subscript_key)
     if isinstance(node, ast.Attribute) and node.attr == "T":
         inner = _expr_dims(module, specs, env, node.value)
         return _transposed(inner) if inner is not None else None
@@ -177,6 +218,12 @@ def _expr_dims(module: ModuleInfo, specs: Dict[str, List[ShapeSpec]],
         if resolved in ("numpy.ascontiguousarray", "numpy.asarray",
                         "numpy.array", "numpy.copy"):
             if len(node.args) == 1:
+                return _expr_dims(module, specs, env, node.args[0])
+            return None
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in _SHAPE_PRESERVING_CONTAINERS
+                and resolved in (None, node.func.id)):
+            if len(node.args) == 1 and not node.keywords:
                 return _expr_dims(module, specs, env, node.args[0])
             return None
         spec = _lookup_spec(specs, module, node.func)
@@ -266,11 +313,18 @@ def _check_function(project: Project, module: ModuleInfo,
                 return
             target = node.targets[0]
             if isinstance(target, ast.Name):
+                _forget_container_entries(env, target.id)
                 dims = _expr_dims(module, specs, env, node.value)
                 if dims is not None:
                     env[target.id] = dims
                 else:
                     env.pop(target.id, None)
+            elif (subscript_key := _const_subscript_key(target)) is not None:
+                dims = _expr_dims(module, specs, env, node.value)
+                if dims is not None:
+                    env[subscript_key] = dims
+                else:
+                    env.pop(subscript_key, None)
             elif isinstance(target, ast.Tuple) and all(
                 isinstance(elt, ast.Name) for elt in target.elts
             ):
@@ -286,6 +340,7 @@ def _check_function(project: Project, module: ModuleInfo,
         def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
             self.generic_visit(node)
             if isinstance(node.target, ast.Name) and node.value is not None:
+                _forget_container_entries(env, node.target.id)
                 dims = _expr_dims(module, specs, env, node.value)
                 if dims is not None:
                     env[node.target.id] = dims

@@ -67,3 +67,13 @@ class CollectionFailedError(FaultError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A run checkpoint is missing, malformed, or inconsistent with the run."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """A sharded sweep failed: a shard raised, or its journal is unusable.
+
+    Raised by :class:`repro.harness.parallel.ShardedRunner` when a shard's
+    task function raises inside a worker (the remote traceback is carried
+    in the message) or when a sweep journal cannot be matched to the sweep
+    being (re)run.
+    """

@@ -15,13 +15,22 @@ from repro.harness.checkpoint import (
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
+    ExperimentSpec,
     RunResult,
     clear_pretrained_policies,
     make_framework,
     paper_budget,
+    run_comparison,
     run_experiment,
 )
 from repro.harness.figures import fig4, fig5, fig6, fig7, fig8
+from repro.harness.parallel import (
+    ShardContext,
+    ShardedRunner,
+    ShardOutcome,
+    SweepOptions,
+    run_sharded,
+)
 from repro.harness.report import render_figure
 from repro.harness.serialization import (
     load_outcome,
@@ -39,12 +48,19 @@ from repro.harness.tracking import IterationRecord, RunTrace
 
 __all__ = [
     "ExperimentSetting",
+    "ExperimentSpec",
     "RunResult",
     "FRAMEWORK_NAMES",
     "make_framework",
     "paper_budget",
     "run_experiment",
+    "run_comparison",
     "clear_pretrained_policies",
+    "ShardContext",
+    "ShardOutcome",
+    "ShardedRunner",
+    "SweepOptions",
+    "run_sharded",
     "RunCheckpoint",
     "CheckpointRecorder",
     "save_checkpoint",

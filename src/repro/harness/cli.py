@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.harness.cli fig4 --scale 0.05 --seeds 2
+    python -m repro.harness.cli fig5 --seeds 4 --parallel 4
+    python -m repro.harness.cli fig5 --parallel 4 --journal sweep/ --resume
     python -m repro.harness.cli fig8 --scale 0.1
     python -m repro.harness.cli run --framework CrowdRL --dataset S12CP
     python -m repro.harness.cli lint src
@@ -20,6 +22,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.harness.experiment import (
     FRAMEWORK_NAMES,
     ExperimentSetting,
@@ -27,6 +30,7 @@ from repro.harness.experiment import (
     run_experiment,
 )
 from repro.harness.figures import fig4, fig5, fig6, fig7, fig8
+from repro.harness.parallel import SweepOptions
 from repro.harness.report import render_figure, render_figures
 
 _FIGURES = {
@@ -54,6 +58,31 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="seeds to average per configuration")
         fig_parser.add_argument("--seed", type=int, default=0,
                                 help="base random seed")
+        fig_parser.add_argument(
+            "--parallel", type=int, default=1, metavar="N",
+            help="worker processes for the sharded sweep (default 1 = "
+                 "in-process serial; any N produces identical numbers)")
+        fig_parser.add_argument(
+            "--shard-timeout", type=float, default=120.0, metavar="SECONDS",
+            help="seconds without a heartbeat before a worker is presumed "
+                 "hung and its shard is relaunched (default 120)")
+        fig_parser.add_argument(
+            "--shard-retries", type=int, default=2, metavar="N",
+            help="relaunches per shard after worker crashes/hangs before "
+                 "degrading to in-process execution (default 2)")
+        fig_parser.add_argument(
+            "--journal", default=None, metavar="DIR",
+            help="journal completed shards under DIR so a killed sweep can "
+                 "be resumed with --resume")
+        fig_parser.add_argument(
+            "--resume", action="store_true",
+            help="resume the sweep journalled at --journal: finished shards "
+                 "load from disk, interrupted shards restart from their "
+                 "run checkpoints")
+        fig_parser.add_argument(
+            "--metrics", action="store_true",
+            help="collect per-shard obs event logs and merge them (in "
+                 "shard-index order) into DIR/metrics.jsonl; needs --journal")
 
     lint_parser = sub.add_parser(
         "lint", help="run the repro static-analysis linter (repro.analysis); "
@@ -116,8 +145,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return analysis_main(forwarded)
 
     if args.command in _FIGURES:
+        try:
+            options = SweepOptions(
+                parallel=args.parallel,
+                shard_timeout=args.shard_timeout,
+                shard_retries=args.shard_retries,
+                journal_dir=args.journal,
+                resume=args.resume,
+                metrics=args.metrics,
+                seed=args.seed,
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         panels = _FIGURES[args.command](
-            scale=args.scale, n_seeds=args.seeds, seed=args.seed
+            scale=args.scale, n_seeds=args.seeds, seed=args.seed,
+            parallel=options,
         )
         print(render_figures(panels))
         return 0

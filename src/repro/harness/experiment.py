@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.harness.checkpoint import (
     RestoreTargets,
     load_checkpoint,
 )
+from repro.harness.parallel import ShardContext, SweepOptions, run_sharded
 from repro.metrics.classification import ClassificationReport
 from repro.obs import (
     JsonlEventLog,
@@ -184,19 +185,28 @@ _RL_FRAMEWORKS = ("CrowdRL", "M1", "M2", "M3")
 #: Offline-trained policy weights, keyed by pool shape.  The paper trains
 #: its policy offline once and reuses it online (Section VI-A4); caching
 #: mirrors that and keeps figure sweeps fast.
-_PRETRAINED_POLICIES: dict = {}  # repro: process-local — per-process cache; sharded workers retrain from the same seed, so a cold cache changes wall-time only, never results
+_PRETRAINED_POLICIES: dict = {}  # repro: process-local — per-process cache; pretraining runs on a dedicated offline RNG stream, so a cold cache retrains to the same weights and cache warmth changes wall-time only, never results
 
 
 def clear_pretrained_policies() -> None:
     """Empty the module-global offline-policy cache.
 
-    A cache hit skips the pretraining episodes (and their RNG draws), so a
-    warm cache changes RL-framework results relative to a cold one.  Tests
-    and any caller needing run-to-run determinism across process lifetimes
-    — notably checkpoint/resume equivalence checks — should clear it
-    between runs.
+    Pretraining draws from a *dedicated* offline RNG stream (never the
+    framework's online stream), so a cache miss retrains to exactly the
+    weights a hit would have returned: clearing the cache costs wall-time
+    but never changes results.  Tests clear it anyway to keep runs
+    independent of execution order.
     """
     _PRETRAINED_POLICIES.clear()
+
+
+#: Seed of the offline cross-training RNG stream.  Pretraining episodes
+#: draw from this stream — never from the framework's online stream — so
+#: the online run makes identical draws whether the policy cache was warm
+#: (weights reused) or cold (weights retrained): the cache is
+#: result-neutral, which is what lets sharded workers with per-process
+#: caches produce bit-identical results to a single serial process.
+_OFFLINE_TRAIN_SEED = 424_242
 
 
 def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
@@ -206,7 +216,10 @@ def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
     data — here generic synthetic labelling tasks of comparable shape — so
     the Q-network starts from an informed policy instead of from scratch.
     The trained policy is cached per pool shape and reused, as the paper's
-    one-off offline training is.
+    one-off offline training is.  The episodes run with the framework's
+    online stream swapped out for an offline one seeded by
+    :data:`_OFFLINE_TRAIN_SEED`, so the cached weights depend only on the
+    pool shape and the online stream is untouched either way.
     """
     from repro.datasets.synthetic import make_blobs  # local: avoids cycle
 
@@ -216,22 +229,27 @@ def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
         return
 
     rng = as_rng(9999)
-    # One hard and one easy task, so the policy sees both regimes (experts
-    # pay off on hard objects, workers suffice on easy ones).
-    for episode, separation in enumerate((1.5, 2.5)):
-        train_set = make_blobs(
-            80, 16, separation=separation,
-            name=f"pretrain{episode}", rng=rng,
-        )
-        platform = make_platform(
-            train_set,
-            n_workers=setting.n_workers,
-            n_experts=setting.n_experts,
-            budget=350.0,
-            cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
-            rng=10_000 + episode,
-        )
-        framework.pretrain(train_set, platform)
+    online_rng = framework._rng
+    framework._rng = as_rng(_OFFLINE_TRAIN_SEED)
+    try:
+        # One hard and one easy task, so the policy sees both regimes
+        # (experts pay off on hard objects, workers suffice on easy ones).
+        for episode, separation in enumerate((1.5, 2.5)):
+            train_set = make_blobs(
+                80, 16, separation=separation,
+                name=f"pretrain{episode}", rng=rng,
+            )
+            platform = make_platform(
+                train_set,
+                n_workers=setting.n_workers,
+                n_experts=setting.n_experts,
+                budget=350.0,
+                cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
+                rng=10_000 + episode,
+            )
+            framework.pretrain(train_set, platform)
+    finally:
+        framework._rng = online_rng
     _PRETRAINED_POLICIES[key] = framework._pretrained_weights
 
 
@@ -454,44 +472,88 @@ def _run_experiment(
     return RunResult(framework_name, setting, outcome, report)
 
 
-def run_comparison(
+def comparison_shard(payload: dict, ctx: "ShardContext") -> dict:
+    """One (setting, seed) shard of a framework comparison.
+
+    The shard task behind :func:`run_comparison` and the figure sweeps:
+    module-level so spawn workers pickle it by reference (REPRO015), with
+    a JSON-safe payload (``{"framework_names": [...], "setting": {...}}``)
+    and a JSON-safe return value, so journalled results survive a
+    round-trip through ``result.json`` bit-identically (JSON serialises
+    float64 via ``repr``, which round-trips exactly).
+
+    Every framework labels the same shared dataset draw, so the evaluated
+    object count comes from the dataset — not from whichever framework
+    happened to run last.  A subsampled setting shrinks the draw
+    identically for every framework (the subsample RNG derives from the
+    seed), so the expected count is the subsampled size.
+
+    All randomness derives from ``setting.seed``; the shard's own
+    ``ctx.rng`` is deliberately unused, keeping the shard's result a pure
+    function of its payload.  With a journalling sweep, each framework's
+    run checkpoints into the shard's private directory
+    (``ctx.journal_dir``) so a killed sweep resumes mid-run; with
+    metrics collection, each run's event log lands in ``ctx.metrics_dir``
+    for the engine's shard-index-order merge.
+    """
+    framework_names = tuple(payload["framework_names"])
+    setting = ExperimentSetting(**payload["setting"])
+    dataset = load_dataset(
+        setting.dataset_name, scale=setting.scale, rng=setting.seed
+    )
+    if setting.subsample < 1.0:
+        n_objects = dataset.subsample(
+            setting.subsample, rng=as_rng(setting.seed + 1)
+        ).n_objects
+    else:
+        n_objects = dataset.n_objects
+    reports: dict[str, list] = {}
+    for position, name in enumerate(framework_names):
+        spec = None
+        if ctx.journal_dir is not None:
+            checkpoint = ctx.journal_dir / f"run-{position:02d}-{name}.ckpt"
+            metrics_out = (
+                str(ctx.metrics_dir / f"metrics-{position:02d}-{name}.jsonl")
+                if ctx.metrics_dir is not None else None
+            )
+            spec = ExperimentSpec(
+                checkpoint_path=str(checkpoint),
+                resume=bool(ctx.resuming and checkpoint.exists()),
+                metrics_out=metrics_out,
+            )
+        result = run_experiment(name, setting, spec, dataset=dataset)
+        report = result.report
+        if report.n_evaluated != n_objects:
+            raise ConfigurationError(
+                f"framework {name!r} evaluated {report.n_evaluated} "
+                f"objects, shared dataset has {n_objects}; comparison "
+                f"metrics would not be comparable"
+            )
+        reports[name] = [report.precision, report.recall, report.f1,
+                         report.accuracy]
+    return {"n_objects": n_objects, "reports": reports}
+
+
+def merge_comparison(
+    shard_values: Sequence[dict],
     framework_names: tuple[str, ...],
-    setting: ExperimentSetting,
-    *,
-    n_seeds: int = 1,
+    n_seeds: int,
 ) -> dict[str, ClassificationReport]:
-    """Run several frameworks on a setting, averaging over ``n_seeds`` seeds."""
-    if n_seeds <= 0:
-        raise ConfigurationError(f"n_seeds must be > 0, got {n_seeds}")
-    sums: dict[str, np.ndarray] = {name: np.zeros(4) for name in framework_names}
+    """Deterministically merge :func:`comparison_shard` values, in order.
+
+    Replicates the pre-engine serial arithmetic exactly — accumulate each
+    seed's ``[precision, recall, f1, accuracy]`` into a float64 vector in
+    seed order, then divide by ``n_seeds`` — so a sharded sweep's merged
+    reports are bit-identical to the historical in-process loop.
+    """
+    sums: dict[str, np.ndarray] = {
+        name: np.zeros(4) for name in framework_names
+    }
     n_objects = 0
-    for offset in range(n_seeds):
-        seeded = replace(setting, seed=setting.seed + offset)
-        dataset = load_dataset(
-            seeded.dataset_name, scale=seeded.scale, rng=seeded.seed
-        )
-        # Every framework labels the same shared draw, so the evaluated
-        # object count comes from the dataset — not from whichever
-        # framework happened to run last.  A subsampled setting shrinks the
-        # draw identically for every framework (the subsample RNG derives
-        # from the seed), so the expected count is the subsampled size.
-        if seeded.subsample < 1.0:
-            n_objects = dataset.subsample(
-                seeded.subsample, rng=as_rng(seeded.seed + 1)
-            ).n_objects
-        else:
-            n_objects = dataset.n_objects
+    for value in shard_values:
+        n_objects = int(value["n_objects"])
         for name in framework_names:
-            result = run_experiment(name, seeded, dataset=dataset)
-            report = result.report
-            if report.n_evaluated != n_objects:
-                raise ConfigurationError(
-                    f"framework {name!r} evaluated {report.n_evaluated} "
-                    f"objects, shared dataset has {n_objects}; comparison "
-                    f"metrics would not be comparable"
-                )
-            sums[name] += [report.precision, report.recall, report.f1,
-                           report.accuracy]
+            sums[name] += value["reports"][name]
     return {
         name: ClassificationReport(
             precision=float(vals[0] / n_seeds),
@@ -502,3 +564,39 @@ def run_comparison(
         )
         for name, vals in sums.items()
     }
+
+
+def run_comparison(
+    framework_names: tuple[str, ...],
+    setting: ExperimentSetting,
+    *,
+    n_seeds: int = 1,
+    parallel: Union[int, "SweepOptions", None] = None,
+) -> dict[str, ClassificationReport]:
+    """Run several frameworks on a setting, averaging over ``n_seeds`` seeds.
+
+    One shard per seed, executed through the fault-tolerant engine
+    (:mod:`repro.harness.parallel`).  ``parallel`` is a worker count or a
+    full :class:`~repro.harness.parallel.SweepOptions`; the default (one
+    in-process worker) reproduces the historical serial loop bit-for-bit,
+    and any worker count produces the same merged reports because each
+    shard's result depends only on its seeded setting.
+    """
+    if n_seeds <= 0:
+        raise ConfigurationError(f"n_seeds must be > 0, got {n_seeds}")
+    options = SweepOptions.coerce(parallel)
+    if not isinstance(parallel, SweepOptions):
+        options = replace(options, seed=setting.seed)
+    payloads = []
+    tags = []
+    for offset in range(n_seeds):
+        seeded = replace(setting, seed=setting.seed + offset)
+        payloads.append({
+            "framework_names": list(framework_names),
+            "setting": asdict(seeded),
+        })
+        tags.append(f"{seeded.dataset_name}:seed{seeded.seed}")
+    outcomes = run_sharded(comparison_shard, payloads, tags=tags,
+                           options=options)
+    return merge_comparison([o.value for o in outcomes],
+                            tuple(framework_names), n_seeds)

@@ -5,20 +5,46 @@ Each ``figN`` function runs the corresponding experiment at a configurable
 shapes, not the wall-clock, are what reproduce) and returns a
 :class:`FigureResult` that :func:`repro.harness.report.render_figure`
 prints as the rows/series the paper plots.
+
+Every figure executes through the fault-tolerant sharded engine
+(:mod:`repro.harness.parallel`): the figure's (configuration x seed) grid
+becomes one shard per cell, fanned over ``parallel`` workers and merged in
+shard-index order.  The default ``parallel=None`` runs the shards
+in-process in grid order — the historical serial loops, bit for bit —
+and any worker count yields the same numbers because each shard's result
+is a pure function of its seeded setting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from dataclasses import replace as _dc_replace
+from typing import Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.harness.experiment import (
     ABLATION_NAMES,
     FRAMEWORK_NAMES,
     ExperimentSetting,
+    comparison_shard,
+    merge_comparison,
     run_comparison,
 )
+from repro.harness.parallel import SweepOptions, run_sharded
+from repro.metrics.classification import ClassificationReport
+
+__all__ = [
+    "ALL_DATASETS",
+    "PANEL_DATASETS",
+    "SPEECH_DATASETS",
+    "FigureResult",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "run_comparison",
+]
 
 #: Fig. 4/5/6/7 dataset panels.
 SPEECH_DATASETS = ("S12C", "S12P", "S12CP", "S3C", "S3P", "S3CP")
@@ -29,6 +55,10 @@ PANEL_DATASETS = ("S12CP", "S3CP", "Fashion")
 #: knob would dominate every figure's runtime, so its scale is normalised
 #: to yield roughly the speech datasets' object count.
 _FASHION_SCALE_RATIO = 2344 / 32_398
+
+#: A sweep job: (tag, framework names, setting) — one x-axis cell of a
+#: figure, expanded into ``n_seeds`` shards by :func:`_sweep`.
+_Job = Tuple[str, Tuple[str, ...], ExperimentSetting]
 
 
 def _dataset_scale(dataset_name: str, scale: float) -> float:
@@ -59,6 +89,48 @@ def _split_pool(total: int) -> tuple[int, int]:
     return total - n_experts, n_experts
 
 
+def _sweep(jobs: Sequence[_Job], *, n_seeds: int, base_seed: int,
+           parallel: Union[int, SweepOptions, None]
+           ) -> list[dict[str, ClassificationReport]]:
+    """Run a figure's whole (job x seed) grid as one sharded sweep.
+
+    Shard order is (job, seed offset) row-major, so the merged per-job
+    reports replicate the historical nested loops exactly; the engine
+    guarantees the same merge regardless of worker count, retries, or a
+    kill/resume cycle.  Returns one report dict per job, in job order.
+
+    ``base_seed`` is the sweep engine's *root* seed, not a stream: the
+    engine only ever derives children from it (per-shard spawn streams,
+    per-(shard, attempt) backoff jitter via ``SeedSequence``), so sharing
+    the figure's base seed with the settings never correlates draws.
+    """
+    if n_seeds <= 0:
+        raise ConfigurationError(f"n_seeds must be > 0, got {n_seeds}")
+    options = SweepOptions.coerce(parallel)
+    if not isinstance(parallel, SweepOptions):
+        options = _dc_replace(options, seed=base_seed)
+    payloads = []
+    tags = []
+    for tag, names, setting in jobs:
+        for offset in range(n_seeds):
+            seeded = _dc_replace(setting, seed=setting.seed + offset)
+            payloads.append({
+                "framework_names": list(names),
+                "setting": asdict(seeded),
+            })
+            tags.append(f"{tag}:seed{seeded.seed}")
+    outcomes = run_sharded(comparison_shard, payloads, tags=tags,
+                           options=options)
+    return [
+        merge_comparison(
+            [outcomes[j * n_seeds + offset].value
+             for offset in range(n_seeds)],
+            tuple(names), n_seeds,
+        )
+        for j, (tag, names, setting) in enumerate(jobs)
+    ]
+
+
 @dataclass
 class FigureResult:
     """A figure's data: one metric value per (x-label, series) cell."""
@@ -75,20 +147,25 @@ class FigureResult:
 
 def fig4(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
          frameworks: Sequence[str] = FRAMEWORK_NAMES,
-         datasets: Sequence[str] = ALL_DATASETS) -> list[FigureResult]:
+         datasets: Sequence[str] = ALL_DATASETS,
+         parallel: Union[int, SweepOptions, None] = None
+         ) -> list[FigureResult]:
     """Fig. 4: Precision / Recall / F1 per framework per dataset, equal budget."""
     panels = [
         FigureResult("fig4", "dataset", list(datasets), metric=m)
         for m in ("precision", "recall", "f1")
     ]
+    jobs: list[_Job] = []
     for dataset_name in datasets:
         n_workers, n_experts = _annotators_for(dataset_name)
-        setting = ExperimentSetting(
-            dataset_name=dataset_name,
-            scale=_dataset_scale(dataset_name, scale),
-            n_workers=n_workers, n_experts=n_experts, seed=seed,
-        )
-        reports = run_comparison(tuple(frameworks), setting, n_seeds=n_seeds)
+        jobs.append((f"fig4:{dataset_name}", tuple(frameworks),
+                     ExperimentSetting(
+                         dataset_name=dataset_name,
+                         scale=_dataset_scale(dataset_name, scale),
+                         n_workers=n_workers, n_experts=n_experts, seed=seed,
+                     )))
+    for reports in _sweep(jobs, n_seeds=n_seeds, base_seed=seed,
+                          parallel=parallel):
         for name in frameworks:
             report = reports[name]
             panels[0].add(name, report.precision)
@@ -100,23 +177,29 @@ def fig4(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
 def fig5(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
          frameworks: Sequence[str] = FRAMEWORK_NAMES,
          ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
-         datasets: Sequence[str] = PANEL_DATASETS) -> list[FigureResult]:
+         datasets: Sequence[str] = PANEL_DATASETS,
+         parallel: Union[int, SweepOptions, None] = None
+         ) -> list[FigureResult]:
     """Fig. 5: precision vs dataset sampling ratio (scalability)."""
-    results = []
+    jobs: list[_Job] = []
     for dataset_name in datasets:
         n_workers, n_experts = _annotators_for(dataset_name)
+        for ratio in ratios:
+            jobs.append((f"fig5:{dataset_name}:r{ratio}", tuple(frameworks),
+                         ExperimentSetting(
+                             dataset_name=dataset_name,
+                             scale=_dataset_scale(dataset_name, scale),
+                             n_workers=n_workers, n_experts=n_experts,
+                             subsample=ratio, seed=seed,
+                         )))
+    merged = _sweep(jobs, n_seeds=n_seeds, base_seed=seed, parallel=parallel)
+    results = []
+    for d, dataset_name in enumerate(datasets):
         panel = FigureResult(
             f"fig5:{dataset_name}", "sampling ratio", list(ratios)
         )
-        for ratio in ratios:
-            setting = ExperimentSetting(
-                dataset_name=dataset_name,
-                scale=_dataset_scale(dataset_name, scale),
-                n_workers=n_workers, n_experts=n_experts,
-                subsample=ratio, seed=seed,
-            )
-            reports = run_comparison(tuple(frameworks), setting,
-                                     n_seeds=n_seeds)
+        for r in range(len(ratios)):
+            reports = merged[d * len(ratios) + r]
             for name in frameworks:
                 panel.add(name, reports[name].precision)
         results.append(panel)
@@ -126,20 +209,27 @@ def fig5(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
 def fig6(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
          frameworks: Sequence[str] = FRAMEWORK_NAMES,
          pool_sizes: Sequence[int] = (3, 5, 7),
-         datasets: Sequence[str] = PANEL_DATASETS) -> list[FigureResult]:
+         datasets: Sequence[str] = PANEL_DATASETS,
+         parallel: Union[int, SweepOptions, None] = None
+         ) -> list[FigureResult]:
     """Fig. 6: precision vs number of annotators |W|."""
-    results = []
+    jobs: list[_Job] = []
     for dataset_name in datasets:
-        panel = FigureResult(f"fig6:{dataset_name}", "|W|", list(pool_sizes))
         for total in pool_sizes:
             n_workers, n_experts = _split_pool(total)
-            setting = ExperimentSetting(
-                dataset_name=dataset_name,
-                scale=_dataset_scale(dataset_name, scale),
-                n_workers=n_workers, n_experts=n_experts, seed=seed,
-            )
-            reports = run_comparison(tuple(frameworks), setting,
-                                     n_seeds=n_seeds)
+            jobs.append((f"fig6:{dataset_name}:w{total}", tuple(frameworks),
+                         ExperimentSetting(
+                             dataset_name=dataset_name,
+                             scale=_dataset_scale(dataset_name, scale),
+                             n_workers=n_workers, n_experts=n_experts,
+                             seed=seed,
+                         )))
+    merged = _sweep(jobs, n_seeds=n_seeds, base_seed=seed, parallel=parallel)
+    results = []
+    for d, dataset_name in enumerate(datasets):
+        panel = FigureResult(f"fig6:{dataset_name}", "|W|", list(pool_sizes))
+        for p in range(len(pool_sizes)):
+            reports = merged[d * len(pool_sizes) + p]
             for name in frameworks:
                 panel.add(name, reports[name].precision)
         results.append(panel)
@@ -149,21 +239,27 @@ def fig6(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
 def fig7(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
          frameworks: Sequence[str] = FRAMEWORK_NAMES,
          alphas: Sequence[float] = (0.01, 0.05, 0.1),
-         datasets: Sequence[str] = PANEL_DATASETS) -> list[FigureResult]:
+         datasets: Sequence[str] = PANEL_DATASETS,
+         parallel: Union[int, SweepOptions, None] = None
+         ) -> list[FigureResult]:
     """Fig. 7: precision vs initial sampling rate alpha."""
-    results = []
+    jobs: list[_Job] = []
     for dataset_name in datasets:
         n_workers, n_experts = _annotators_for(dataset_name)
-        panel = FigureResult(f"fig7:{dataset_name}", "alpha", list(alphas))
         for alpha in alphas:
-            setting = ExperimentSetting(
-                dataset_name=dataset_name,
-                scale=_dataset_scale(dataset_name, scale),
-                n_workers=n_workers, n_experts=n_experts,
-                alpha=alpha, seed=seed,
-            )
-            reports = run_comparison(tuple(frameworks), setting,
-                                     n_seeds=n_seeds)
+            jobs.append((f"fig7:{dataset_name}:a{alpha}", tuple(frameworks),
+                         ExperimentSetting(
+                             dataset_name=dataset_name,
+                             scale=_dataset_scale(dataset_name, scale),
+                             n_workers=n_workers, n_experts=n_experts,
+                             alpha=alpha, seed=seed,
+                         )))
+    merged = _sweep(jobs, n_seeds=n_seeds, base_seed=seed, parallel=parallel)
+    results = []
+    for d, dataset_name in enumerate(datasets):
+        panel = FigureResult(f"fig7:{dataset_name}", "alpha", list(alphas))
+        for a in range(len(alphas)):
+            reports = merged[d * len(alphas) + a]
             for name in frameworks:
                 panel.add(name, reports[name].precision)
         results.append(panel)
@@ -171,17 +267,21 @@ def fig7(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
 
 
 def fig8(*, scale: float = 0.02, n_seeds: int = 1, seed: int = 0,
-         datasets: Sequence[str] = PANEL_DATASETS) -> FigureResult:
+         datasets: Sequence[str] = PANEL_DATASETS,
+         parallel: Union[int, SweepOptions, None] = None) -> FigureResult:
     """Fig. 8: ablations M1/M2/M3 vs full CrowdRL (accuracy)."""
     panel = FigureResult("fig8", "dataset", list(datasets), metric="accuracy")
+    jobs: list[_Job] = []
     for dataset_name in datasets:
         n_workers, n_experts = _annotators_for(dataset_name)
-        setting = ExperimentSetting(
-            dataset_name=dataset_name,
-            scale=_dataset_scale(dataset_name, scale),
-            n_workers=n_workers, n_experts=n_experts, seed=seed,
-        )
-        reports = run_comparison(ABLATION_NAMES, setting, n_seeds=n_seeds)
+        jobs.append((f"fig8:{dataset_name}", ABLATION_NAMES,
+                     ExperimentSetting(
+                         dataset_name=dataset_name,
+                         scale=_dataset_scale(dataset_name, scale),
+                         n_workers=n_workers, n_experts=n_experts, seed=seed,
+                     )))
+    for reports in _sweep(jobs, n_seeds=n_seeds, base_seed=seed,
+                          parallel=parallel):
         for name in ABLATION_NAMES:
             panel.add(name, reports[name].accuracy)
     return panel

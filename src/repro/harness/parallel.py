@@ -1,0 +1,702 @@
+"""Fault-tolerant sharded experiment engine.
+
+:class:`ShardedRunner` fans a sweep's shards — one JSON-safe payload per
+(seed, setting) point — out over ``multiprocessing`` *spawn* workers and
+merges the per-shard results back **in shard-index order**, so the merged
+output never depends on scheduling.  The engine's contract is the one
+REPRO013-018 was built to guard:
+
+* **Per-shard determinism.**  A shard's result is a function of its
+  payload and its shard index only.  Each shard's RNG stream is the
+  ``Generator.spawn`` child at its index (:func:`repro.utils.rng.spawn_rng_at`),
+  rebuilt inside whichever worker — or retry attempt — executes it, so
+  serial (``parallel=1``), parallel, retried and resumed executions of the
+  same shard are bit-identical.
+* **Crash and hang survival.**  Workers heartbeat from a side thread
+  while the shard computes; a worker that dies (crash, OOM-kill,
+  ``SIGKILL``) or stops beating for ``shard_timeout`` seconds is killed
+  and its shard is requeued onto a fresh worker after a *seeded*
+  exponential backoff, up to ``shard_retries`` relaunches per shard.
+* **Graceful degradation.**  When workers keep dying — a shard exhausts
+  its retry budget, the sweep-wide death budget is spent, or the platform
+  cannot spawn at all — the engine falls back to in-process serial
+  execution of the remaining shards: slower, but the sweep completes (or
+  surfaces the real, deterministic error).
+* **Kill-resume.**  With a ``journal_dir``, every completed shard is
+  persisted atomically (``shard-NNNN/result.json``) and every running
+  shard gets a private working directory for its own run-level
+  checkpoints (:mod:`repro.harness.checkpoint`).  A sweep SIGKILLed
+  mid-flight and re-run with ``resume=True`` loads the finished shards
+  from disk, resumes half-finished shards from their journals, and merges
+  to the same bytes as a sweep that was never interrupted.
+
+Task functions must be module-level callables (spawn pickles them by
+reference; REPRO015 flags anything else) with the signature
+``task(payload, ctx) -> value`` where ``payload`` is JSON-safe, ``ctx``
+is a :class:`ShardContext` and ``value`` is JSON-safe when journalling.
+A task exception is *not* retried — identical inputs would fail
+identically — but crashes and hangs are.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import multiprocessing
+import os
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShardError
+from repro.harness.serialization import PathLike
+from repro.obs import get_registry, monotonic
+from repro.utils.rng import spawn_rng_at
+
+logger = logging.getLogger(__name__)
+
+SWEEP_MANIFEST_VERSION = 1
+
+#: Result-queue poll period (seconds): the parent's reaction latency to
+#: heartbeats, completions and deaths.
+_TICK = 0.05
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """How a sweep executes: worker count, liveness knobs, journalling.
+
+    ``parallel`` is the worker-process count; ``1`` (the default) runs
+    every shard in-process, which is the pre-engine serial behaviour.
+    ``shard_timeout`` is the longest a running shard may go without a
+    heartbeat before it is presumed hung; ``shard_retries`` bounds how
+    often one shard may be relaunched after crashes/hangs.  ``journal_dir``
+    turns on the per-shard journal (and is where a killed sweep resumes
+    from with ``resume=True``); ``metrics`` additionally collects each
+    shard's obs event log and merges them in shard-index order.  ``seed``
+    feeds the per-shard RNG streams and the retry-backoff jitter.
+    """
+
+    parallel: int = 1
+    shard_timeout: float = 120.0
+    shard_retries: int = 2
+    heartbeat_every: float = 0.2
+    backoff_base: float = 0.05
+    backoff_cap: float = 5.0
+    journal_dir: Optional[PathLike] = None
+    resume: bool = False
+    metrics: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.parallel < 1:
+            raise ConfigurationError(
+                f"parallel must be >= 1, got {self.parallel}"
+            )
+        if self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+        if self.shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.heartbeat_every <= 0:
+            raise ConfigurationError(
+                f"heartbeat_every must be > 0, got {self.heartbeat_every}"
+            )
+        if self.resume and self.journal_dir is None:
+            raise ConfigurationError("resume=True requires journal_dir")
+        if self.metrics and self.journal_dir is None:
+            raise ConfigurationError(
+                "metrics=True requires journal_dir (shard event logs live "
+                "in the per-shard journal directories)"
+            )
+
+    @classmethod
+    def coerce(cls, value: Union[int, "SweepOptions", None]) -> "SweepOptions":
+        """Accept a plain worker count where full options are overkill."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        return cls(parallel=int(value))
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """What a task function knows about the shard it is executing.
+
+    ``rng`` is the shard's own spawn-derived child stream — the *only*
+    engine-provided randomness a task may use, because it is rebuilt
+    identically for every attempt and execution mode.  ``attempt`` counts
+    relaunches (0 on first execution); ``journal_dir`` is the shard's
+    private working directory when the sweep journals (tasks put their
+    run-level checkpoints there); ``metrics_dir`` is where the task should
+    write obs event logs (``metrics-*.jsonl``) when metrics are collected;
+    ``resuming`` says the journal may hold state from a previous attempt
+    or a previous (killed) sweep process.
+    """
+
+    index: int
+    attempt: int
+    rng: np.random.Generator
+    journal_dir: Optional[Path] = None
+    metrics_dir: Optional[Path] = None
+    resuming: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's merged-order result plus its execution provenance."""
+
+    index: int
+    tag: str
+    value: object
+    attempts: int = 1
+    worker: str = "serial"
+    wall_s: float = 0.0
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    index: int
+    payload: object
+    tag: str
+
+
+@dataclass
+class _Attempt:
+    """A shard waiting to run (or re-run after a crash/hang)."""
+
+    spec: _ShardSpec
+    attempt: int = 0
+    not_before: float = 0.0  # engine-clock gate for backoff
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.process.BaseProcess
+    jobs: object  # per-worker job queue
+    name: str
+    busy: Optional[_Attempt] = None
+    last_beat: float = field(default_factory=monotonic)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """The checkpoint convention: write-temp-then-rename is the commit."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def _payload_fingerprint(payloads: Sequence[object]) -> str:
+    """Content hash identifying a sweep: payloads, in shard order."""
+    blob = json.dumps(list(payloads), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _task_name(task: Callable) -> str:
+    return f"{getattr(task, '__module__', '?')}.{getattr(task, '__qualname__', '?')}"
+
+
+def _backoff_delay(options: SweepOptions, index: int, attempt: int) -> float:
+    """Seeded exponential backoff before relaunching shard ``index``.
+
+    Deterministic in (sweep seed, shard index, attempt) — independent of
+    worker identity and of wall-clock timing — so two operators replaying
+    the same failing sweep see the same pacing.
+    """
+    base = min(options.backoff_cap,
+               options.backoff_base * (2.0 ** max(0, attempt - 1)))
+    jitter_rng = np.random.default_rng(
+        np.random.SeedSequence((options.seed, index, attempt))
+    )
+    return base * (0.5 + jitter_rng.random())
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _shard_worker(worker_name: str, task: Callable, jobs, results,
+                  heartbeat_every: float) -> None:
+    """Worker main loop: run journalled jobs, heartbeating from the side.
+
+    The heartbeat thread keeps beating while the task computes, so the
+    parent can tell "long shard" from "dead worker": a crash or SIGKILL
+    stops the beats (and the process); a C-level hang that holds the GIL
+    stops the beats while the process stays alive.
+    """
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        (index, attempt, payload, seed, journal_dir, metrics_dir,
+         resuming) = job
+        stop = threading.Event()
+
+        def _beat(index: int = index) -> None:
+            while not stop.wait(heartbeat_every):
+                results.put(("hb", worker_name, index))
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        start = monotonic()
+        try:
+            context = ShardContext(
+                index=index,
+                attempt=attempt,
+                rng=spawn_rng_at(seed, index),
+                journal_dir=Path(journal_dir) if journal_dir else None,
+                metrics_dir=Path(metrics_dir) if metrics_dir else None,
+                resuming=resuming,
+            )
+            value = task(payload, context)
+        except BaseException as exc:  # noqa: B036 - report, parent decides
+            stop.set()
+            beater.join()
+            results.put(("err", worker_name, index, type(exc).__name__,
+                         str(exc), traceback.format_exc(),
+                         monotonic() - start))
+        else:
+            stop.set()
+            beater.join()
+            results.put(("ok", worker_name, index, value,
+                         monotonic() - start))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardedRunner:
+    """Run a sweep's shards through ``task``, surviving worker failure.
+
+    >>> runner = ShardedRunner(my_module.my_task, options=SweepOptions(parallel=4))
+    >>> outcomes = runner.run(payloads, tags=labels)
+
+    ``run`` returns one :class:`ShardOutcome` per payload, **always in
+    shard-index order**, each carrying the task's return value.  The
+    degradation ladder, top rung first: spawn workers with heartbeat
+    supervision; requeue-with-backoff onto a fresh worker after a crash or
+    hang; in-process serial execution when workers keep dying or the
+    platform cannot spawn.  Shard-lifecycle counters
+    (``shards.launched/completed/retried/degraded/resumed``), per-shard
+    wall-time gauges (``shard.N.wall_s``) and a ``shard`` phase land in
+    the ambient obs registry.
+    """
+
+    def __init__(self, task: Callable, *,
+                 options: Union[int, SweepOptions, None] = None) -> None:
+        self.task = task
+        self.options = SweepOptions.coerce(options)
+
+    # ------------------------------------------------------------------
+    def run(self, payloads: Sequence[object],
+            tags: Optional[Sequence[str]] = None) -> List[ShardOutcome]:
+        """Execute one shard per payload and merge in shard-index order."""
+        if tags is not None and len(tags) != len(payloads):
+            raise ConfigurationError(
+                f"{len(tags)} tags for {len(payloads)} payloads"
+            )
+        specs = [
+            _ShardSpec(index=i, payload=payload,
+                       tag=tags[i] if tags is not None else f"shard{i}")
+            for i, payload in enumerate(payloads)
+        ]
+        journal = self._prepare_journal(specs)
+        done: Dict[int, ShardOutcome] = {}
+        if journal is not None:
+            done = self._load_resumed(journal, specs)
+        pending = [_Attempt(spec) for spec in specs if spec.index not in done]
+
+        registry = get_registry()
+        if self._use_pool(pending):
+            survivors = self._run_pool(pending, done, journal)
+            # Bottom rung: whatever the pool could not finish runs here,
+            # serially, in index order — slower but unkillable-by-worker.
+            for attempt in survivors:
+                if attempt.spec.index in done:
+                    continue  # completed in the pool's final drain
+                registry.inc("shards.degraded")
+                done[attempt.spec.index] = self._run_inline(
+                    attempt, journal, worker="degraded"
+                )
+        else:
+            for attempt in pending:
+                done[attempt.spec.index] = self._run_inline(
+                    attempt, journal, worker="serial"
+                )
+        if journal is not None and self.options.metrics:
+            self._merge_metrics(journal, specs)
+        return [done[spec.index] for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def _prepare_journal(self, specs: Sequence[_ShardSpec]) -> Optional[Path]:
+        options = self.options
+        if options.journal_dir is None:
+            return None
+        journal = Path(options.journal_dir)
+        journal.mkdir(parents=True, exist_ok=True)
+        manifest_path = journal / "sweep.json"
+        fingerprint = _payload_fingerprint([s.payload for s in specs])
+        manifest = {
+            "version": SWEEP_MANIFEST_VERSION,
+            "task": _task_name(self.task),
+            "n_shards": len(specs),
+            "fingerprint": fingerprint,
+        }
+        if manifest_path.exists():
+            try:
+                existing = json.loads(manifest_path.read_text())
+            except (ValueError, OSError) as exc:
+                raise ShardError(
+                    f"unreadable sweep manifest at {manifest_path}: {exc}"
+                ) from exc
+            if existing != manifest:
+                raise ShardError(
+                    f"journal at {journal} belongs to a different sweep "
+                    f"(manifest {existing} != {manifest}); point the sweep "
+                    f"at a fresh journal_dir"
+                )
+            if not options.resume:
+                # Same sweep, fresh start: drop completed-shard results and
+                # half-finished run checkpoints so nothing stale replays.
+                for shard_dir in sorted(journal.glob("shard-*")):
+                    for stale in sorted(shard_dir.iterdir()):
+                        stale.unlink()
+        else:
+            if options.resume:
+                raise ShardError(
+                    f"resume=True but {manifest_path} does not exist; "
+                    f"nothing to resume from"
+                )
+            _write_json_atomic(manifest_path, manifest)
+        for spec in specs:
+            self._shard_dir(journal, spec.index).mkdir(exist_ok=True)
+        return journal
+
+    @staticmethod
+    def _shard_dir(journal: Path, index: int) -> Path:
+        return journal / f"shard-{index:04d}"
+
+    def _load_resumed(self, journal: Path,
+                      specs: Sequence[_ShardSpec]) -> Dict[int, ShardOutcome]:
+        """Completed shards from a previous (killed) execution of this sweep."""
+        registry = get_registry()
+        done: Dict[int, ShardOutcome] = {}
+        if not self.options.resume:
+            return done
+        for spec in specs:
+            path = self._shard_dir(journal, spec.index) / "result.json"
+            if not path.exists():
+                continue
+            try:
+                payload = json.loads(path.read_text())
+            except (ValueError, OSError) as exc:
+                # Atomic writes mean half-written results never exist under
+                # the final name; anything unreadable is treated as not-done
+                # and recomputed — the deterministic task makes that safe.
+                logger.warning("unreadable shard result %s (%s); shard %d "
+                               "will be recomputed", path, exc, spec.index)
+                continue
+            if payload.get("index") != spec.index:
+                raise ShardError(
+                    f"{path} records shard {payload.get('index')}, "
+                    f"expected {spec.index}"
+                )
+            done[spec.index] = ShardOutcome(
+                index=spec.index,
+                tag=str(payload.get("tag", spec.tag)),
+                value=payload["value"],
+                attempts=int(payload.get("attempts", 1)),
+                worker=str(payload.get("worker", "?")),
+                wall_s=float(payload.get("wall_s", 0.0)),
+                resumed=True,
+            )
+            registry.inc("shards.resumed")
+        return done
+
+    def _record_done(self, outcome: ShardOutcome,
+                     journal: Optional[Path]) -> None:
+        registry = get_registry()
+        registry.inc("shards.completed")
+        registry.set_gauge(f"shard.{outcome.index}.wall_s", outcome.wall_s)
+        registry.record_phase("shard", outcome.wall_s)
+        if journal is not None:
+            _write_json_atomic(
+                self._shard_dir(journal, outcome.index) / "result.json",
+                {
+                    "index": outcome.index,
+                    "tag": outcome.tag,
+                    "value": outcome.value,
+                    "attempts": outcome.attempts,
+                    "worker": outcome.worker,
+                    "wall_s": outcome.wall_s,
+                },
+            )
+
+    def _merge_metrics(self, journal: Path,
+                       specs: Sequence[_ShardSpec]) -> None:
+        """Concatenate per-shard event logs in shard-index order."""
+        merged = journal / "metrics.jsonl"
+        tmp = merged.with_name(merged.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as sink:
+            for spec in specs:
+                shard_dir = self._shard_dir(journal, spec.index)
+                for log in sorted(shard_dir.glob("metrics-*.jsonl")):
+                    sink.write(log.read_text())
+        os.replace(tmp, merged)
+
+    # ------------------------------------------------------------------
+    # Execution rungs
+    # ------------------------------------------------------------------
+    def _use_pool(self, pending: Sequence[_Attempt]) -> bool:
+        options = self.options
+        if options.parallel <= 1 or len(pending) <= 1:
+            return False
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            get_registry().inc("shards.degraded", len(pending))
+            return False
+        return True
+
+    def _context_fields(self, spec: _ShardSpec, journal: Optional[Path]):
+        shard_dir = (
+            self._shard_dir(journal, spec.index) if journal is not None
+            else None
+        )
+        metrics_dir = shard_dir if (self.options.metrics and shard_dir) else None
+        return shard_dir, metrics_dir
+
+    def _run_inline(self, attempt: _Attempt, journal: Optional[Path],
+                    worker: str) -> ShardOutcome:
+        """In-process execution: the serial rung of the ladder."""
+        spec = attempt.spec
+        shard_dir, metrics_dir = self._context_fields(spec, journal)
+        registry = get_registry()
+        registry.inc("shards.launched")
+        context = ShardContext(
+            index=spec.index,
+            attempt=attempt.attempt,
+            rng=spawn_rng_at(self.options.seed, spec.index),
+            journal_dir=shard_dir,
+            metrics_dir=metrics_dir,
+            resuming=self.options.resume or attempt.attempt > 0,
+        )
+        start = monotonic()
+        value = self.task(spec.payload, context)
+        outcome = ShardOutcome(
+            index=spec.index, tag=spec.tag, value=value,
+            attempts=attempt.attempt + 1, worker=worker,
+            wall_s=monotonic() - start,
+        )
+        self._record_done(outcome, journal)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Worker-pool execution with heartbeat supervision
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending: List[_Attempt], done: Dict[int, ShardOutcome],
+                  journal: Optional[Path]) -> List[_Attempt]:
+        """Fan shards over spawn workers; return what must run serially.
+
+        The return value is the degradation hand-off: empty when the pool
+        finished everything, otherwise the (index-sorted) attempts the
+        caller runs in-process because workers kept dying.
+        """
+        options = self.options
+        registry = get_registry()
+        mp = multiprocessing.get_context("spawn")
+        results = mp.Queue()
+        queue: deque = deque(sorted(pending, key=lambda a: a.spec.index))
+        workers: Dict[str, _Worker] = {}
+        death_budget = 2 * options.parallel + 2
+        deaths = 0
+        next_id = 0
+        n_target = len(pending)
+        n_done = 0
+        degraded = False
+
+        def spawn_worker() -> None:
+            nonlocal next_id
+            name = f"worker-{next_id}"
+            next_id += 1
+            jobs = mp.Queue()
+            process = mp.Process(
+                target=_shard_worker,
+                args=(name, self.task, jobs, results,
+                      options.heartbeat_every),
+                daemon=True,
+                name=f"repro-shard-{name}",
+            )
+            process.start()
+            workers[name] = _Worker(process=process, jobs=jobs, name=name)
+
+        def dispatch() -> None:
+            now = monotonic()
+            for worker in workers.values():
+                if worker.busy is not None or not queue:
+                    continue
+                ready = None
+                for candidate in queue:  # backoff gates some entries
+                    if candidate.not_before <= now:
+                        ready = candidate
+                        break
+                if ready is None:
+                    continue
+                queue.remove(ready)
+                spec = ready.spec
+                shard_dir, metrics_dir = self._context_fields(spec, journal)
+                worker.busy = ready
+                worker.last_beat = now
+                registry.inc("shards.launched")
+                worker.jobs.put((
+                    spec.index, ready.attempt, spec.payload, options.seed,
+                    str(shard_dir) if shard_dir else None,
+                    str(metrics_dir) if metrics_dir else None,
+                    options.resume or ready.attempt > 0,
+                ))
+
+        def reap(worker: _Worker, reason: str) -> None:
+            """Bury a dead/hung worker; requeue its shard; refill the pool."""
+            nonlocal deaths, degraded
+            attempt = worker.busy
+            worker.busy = None
+            self._kill(worker)
+            workers.pop(worker.name, None)
+            deaths += 1
+            if attempt is not None:
+                queue.append(attempt)
+            if deaths > death_budget:
+                degraded = True
+                logger.warning(
+                    "sharded sweep: %d worker deaths exceed the budget of "
+                    "%d; degrading to in-process serial execution",
+                    deaths, death_budget,
+                )
+                return
+            if attempt is not None:
+                if attempt.attempt >= options.shard_retries:
+                    degraded = True
+                    logger.warning(
+                        "shard %d (%s) exhausted its retry budget of %d; "
+                        "degrading to in-process serial execution",
+                        attempt.spec.index, attempt.spec.tag,
+                        options.shard_retries,
+                    )
+                    return
+                registry.inc("shards.retried")
+                attempt.attempt += 1
+                attempt.not_before = monotonic() + _backoff_delay(
+                    options, attempt.spec.index, attempt.attempt
+                )
+                logger.warning(
+                    "worker %s %s on shard %d (%s); requeued as attempt %d",
+                    worker.name, reason, attempt.spec.index,
+                    attempt.spec.tag, attempt.attempt,
+                )
+            spawn_worker()
+
+        def handle(message: Tuple) -> None:
+            nonlocal n_done
+            kind, name = message[0], message[1]
+            worker = workers.get(name)
+            if worker is not None:
+                worker.last_beat = monotonic()
+            if worker is None or worker.busy is None:
+                return  # stale message from an already-reaped worker
+            if kind == "ok":
+                _, _, index, value, wall = message
+                attempt = worker.busy
+                worker.busy = None
+                outcome = ShardOutcome(
+                    index=index, tag=attempt.spec.tag, value=value,
+                    attempts=attempt.attempt + 1, worker=name, wall_s=wall,
+                )
+                self._record_done(outcome, journal)
+                done[index] = outcome
+                n_done += 1
+            elif kind == "err":
+                _, _, index, exc_name, exc_msg, tb, _wall = message
+                worker.busy = None
+                raise ShardError(
+                    f"shard {index} raised {exc_name}: {exc_msg}\n"
+                    f"--- worker traceback ---\n{tb}"
+                )
+
+        try:
+            for _ in range(min(options.parallel, n_target)):
+                spawn_worker()
+            while n_done < n_target and not degraded:
+                dispatch()
+                # Block briefly for the first message, then drain whatever
+                # has piled up so heartbeats can never starve completions.
+                draining = True
+                try:
+                    message = results.get(timeout=_TICK)
+                except Empty:
+                    draining = False
+                while draining:
+                    handle(message)
+                    try:
+                        message = results.get_nowait()
+                    except Empty:
+                        draining = False
+                now = monotonic()
+                for worker in list(workers.values()):
+                    if worker.busy is None:
+                        continue
+                    if not worker.process.is_alive():
+                        reap(worker, "crashed")
+                    elif now - worker.last_beat > options.shard_timeout:
+                        reap(worker, "stopped heartbeating")
+        finally:
+            for worker in list(workers.values()):
+                self._kill(worker)
+            results.cancel_join_thread()
+            results.close()
+        survivors = list(queue) + [
+            w.busy for w in workers.values() if w.busy is not None
+        ]
+        return sorted(survivors, key=lambda a: a.spec.index)
+
+    @staticmethod
+    def _kill(worker: _Worker) -> None:
+        try:
+            worker.jobs.cancel_join_thread()
+            worker.jobs.close()
+        except (OSError, ValueError) as exc:
+            logger.debug("closing %s job queue: %s", worker.name, exc)
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+
+
+def run_sharded(task: Callable, payloads: Sequence[object], *,
+                tags: Optional[Sequence[str]] = None,
+                options: Union[int, SweepOptions, None] = None
+                ) -> List[ShardOutcome]:
+    """One-call façade over :class:`ShardedRunner`."""
+    return ShardedRunner(task, options=options).run(payloads, tags=tags)
+
+
+__all__ = [
+    "ShardContext",
+    "ShardOutcome",
+    "ShardedRunner",
+    "SweepOptions",
+    "run_sharded",
+]

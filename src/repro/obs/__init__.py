@@ -30,6 +30,7 @@ from repro.obs.registry import (
     get_registry,
     make_registry,
     metrics_enabled_by_default,
+    monotonic,
     phase_timer,
     set_registry,
     use_registry,
@@ -52,6 +53,7 @@ __all__ = [
     "phase_timer",
     "make_registry",
     "metrics_enabled_by_default",
+    "monotonic",
     "JsonlEventLog",
     "read_events",
     "load_summary",

@@ -39,6 +39,18 @@ DEFAULT_TIME_EDGES: Tuple[float, ...] = (
 )
 
 
+def monotonic() -> float:
+    """Operational monotonic clock (seconds), for liveness decisions only.
+
+    The sharded experiment engine times heartbeats, shard timeouts and
+    retry backoff against this clock.  It lives in ``repro.obs`` — the
+    sanctioned home for clocks (REPRO012) — because nothing data-bearing
+    may depend on it: a different reading changes *when* a shard is
+    retried, never *what* the shard computes.
+    """
+    return time.monotonic()
+
+
 def metrics_enabled_by_default() -> bool:
     """Whether ``REPRO_METRICS`` asks for metrics on runs that don't choose."""
     return os.environ.get("REPRO_METRICS", "0").strip().lower() in (
@@ -415,4 +427,5 @@ __all__ = [
     "phase_timer",
     "make_registry",
     "metrics_enabled_by_default",
+    "monotonic",
 ]

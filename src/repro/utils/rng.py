@@ -37,3 +37,19 @@ def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of rngs: {n}")
     return list(as_rng(seed).spawn(n))
+
+
+def spawn_rng_at(seed: int, index: int) -> np.random.Generator:
+    """The ``index``-th ``Generator.spawn`` child of ``seed``, derived alone.
+
+    Bit-identical to ``spawn_rngs(seed, n)[index]`` for any ``n > index``
+    (a spawned child's stream depends only on the parent entropy and its
+    spawn position), but computable without materialising the siblings —
+    which lets a sharded worker rebuild exactly its own shard's stream
+    from two plain ints instead of receiving a pickled parent generator.
+    """
+    if index < 0:
+        raise ValueError(f"spawn index must be >= 0, got {index}")
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )

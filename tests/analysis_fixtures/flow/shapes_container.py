@@ -1,0 +1,73 @@
+"""REPRO010 fixture: dims must survive container round-trips.
+
+Three hits: a transposed matrix laundered through ``list(...)``, one
+rebuilt from that list via ``np.asarray``, and one stashed under a
+constant dict key and fetched back.  The clean forms — the same
+round-trips in the declared orientation, a rebound container, and a
+non-constant key — stay silent.
+"""
+
+import numpy as np
+
+from repro.analysis.contracts import shaped
+
+
+@shaped(result="(n_objects, n_workers)")
+def build_answers(n_objects, n_workers):
+    """Produce the answer matrix in the paper's |O| x |W| orientation."""
+    return np.zeros((n_objects, n_workers))
+
+
+@shaped(answers="(n_objects, n_workers)")
+def per_worker_totals(answers):
+    """Consume the answer matrix in declared orientation."""
+    return answers.sum(axis=0)
+
+
+def hit_list_round_trip():
+    """``list(...)`` keeps the element structure: still transposed."""
+    answers = build_answers(4, 3)
+    rows = list(answers.T)
+    return per_worker_totals(rows)
+
+
+def hit_asarray_of_list():
+    """Rebuilding the array from the list does not fix the orientation."""
+    answers = build_answers(4, 3)
+    rows = list(answers.T)
+    return per_worker_totals(np.asarray(rows))
+
+
+def hit_dict_storage():
+    """A constant-key dict slot is a named binding for the transpose."""
+    cache = {}
+    cache["answers"] = build_answers(4, 3).T
+    return per_worker_totals(cache["answers"])
+
+
+def clean_list_round_trip():
+    """The declared orientation survives the same round-trip silently."""
+    answers = build_answers(4, 3)
+    return per_worker_totals(list(answers))
+
+
+def clean_dict_storage():
+    """A correctly-oriented stored matrix stays silent."""
+    cache = {}
+    cache["answers"] = build_answers(4, 3)
+    return per_worker_totals(cache["answers"])
+
+
+def clean_rebound_container():
+    """Rebinding the container forgets its tracked slots."""
+    cache = {}
+    cache["answers"] = build_answers(4, 3).T
+    cache = {}
+    return per_worker_totals(cache.get("answers"))
+
+
+def clean_dynamic_key(key):
+    """A non-constant subscript key is never tracked."""
+    cache = {}
+    cache[key] = build_answers(4, 3).T
+    return per_worker_totals(cache[key])

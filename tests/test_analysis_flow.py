@@ -34,6 +34,7 @@ def rule_ids(findings):
         ("rng_global.py", "REPRO008", 3),
         ("rng_shared.py", "REPRO009", 1),
         ("shapes_transposed.py", "REPRO010", 2),
+        ("shapes_container.py", "REPRO010", 3),
         ("det_order.py", "REPRO011", 3),
         ("det_clock.py", "REPRO012", 3),
     ],
@@ -59,6 +60,20 @@ def test_transposed_shaped_call_site_is_rejected():
     (finding,) = transposed
     assert "per_worker_totals" in finding.message
     assert "(n_workers, n_objects)" in finding.message
+
+
+def test_container_round_trips_keep_dims_alive():
+    """``list(...)`` and constant-key dict storage no longer launder dims."""
+    findings = analyze_paths([str(FIXTURES / "shapes_container.py")],
+                             select=["REPRO010"])
+    assert len(findings) == 3
+    assert all("transposed" in f.message for f in findings)
+    source = (FIXTURES / "shapes_container.py").read_text().splitlines()
+    for finding in findings:
+        # Every hit sits inside one of the hit_* functions, none in clean_*.
+        preceding = [line for line in source[:finding.line]
+                     if line.startswith("def ")]
+        assert preceding[-1].startswith("def hit_"), preceding[-1]
 
 
 def test_shared_stream_dispatch_forms_are_exclusive():

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, spawn_rng_at, spawn_rngs
 
 
 class TestAsRng:
@@ -42,3 +42,24 @@ class TestSpawnRngs:
         a1, _ = spawn_rngs(9, 2)
         a2, _ = spawn_rngs(9, 2)
         np.testing.assert_array_equal(a1.random(5), a2.random(5))
+
+
+class TestSpawnRngAt:
+    def test_matches_spawn_rngs_child(self):
+        children = spawn_rngs(9, 3)
+        for index, child in enumerate(children):
+            np.testing.assert_array_equal(
+                spawn_rng_at(9, index).random(5), child.random(5)
+            )
+
+    def test_no_sibling_construction_needed(self):
+        # Rebuilding child 2 alone equals rebuilding it among siblings:
+        # this is what lets a worker process derive its shard's stream
+        # without knowing the sweep width.
+        np.testing.assert_array_equal(
+            spawn_rng_at(9, 2).random(5), spawn_rng_at(9, 2).random(5)
+        )
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng_at(9, -1)
