@@ -58,6 +58,7 @@ __all__ = [
     "run_experiment",
     "ExperimentSpec",
     "ExperimentSetting",
+    "StateFeaturizer",
     "__version__",
 ]
 
@@ -66,19 +67,27 @@ __all__ = [
 #: eagerly here would be circular.
 _LAZY_HARNESS = ("run_experiment", "ExperimentSpec", "ExperimentSetting")
 
+#: Core names resolved lazily: rarely needed at top level, so their import
+#: cost is deferred until first use.
+_LAZY_CORE = ("StateFeaturizer",)
+
 
 def __getattr__(name: str):
-    """Lazily expose the harness entry points (see ``_LAZY_HARNESS``)."""
+    """Lazily expose the harness/core entry points (PEP 562)."""
     if name in _LAZY_HARNESS:
         from repro.harness import experiment
 
         return getattr(experiment, name)
+    if name in _LAZY_CORE:
+        from repro.core import featurizer
+
+        return getattr(featurizer, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list:
-    """Include the lazy harness names in ``dir(repro)``."""
-    return sorted(set(globals()) | set(_LAZY_HARNESS))
+    """Include the lazy names in ``dir(repro)``."""
+    return sorted(set(globals()) | set(_LAZY_HARNESS) | set(_LAZY_CORE))
 
 
 def make_platform(

@@ -14,6 +14,7 @@ import numpy as np
 from repro.active.uncertainty import entropy
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike, as_rng
+from repro.utils.topk import top_k_indices
 
 
 class TaskSelector:
@@ -69,5 +70,4 @@ class UncertaintySelector(TaskSelector):
             )
         scores = self.measure(proba)
         k = min(batch_size, len(pool))
-        order = np.argsort(-scores, kind="stable")[:k]
-        return [pool[i] for i in order]
+        return [pool[i] for i in top_k_indices(scores, k)]

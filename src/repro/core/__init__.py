@@ -16,6 +16,7 @@ from repro.core.action import Assignment
 from repro.core.agent import Agent
 from repro.core.config import CrowdRLConfig
 from repro.core.environment import Environment, EnvironmentFeedback
+from repro.core.featurizer import StateFeaturizer
 from repro.core.framework import CrowdRL
 from repro.core.result import LabelSource, LabellingOutcome
 from repro.core.reward import RewardWeights, iteration_reward
@@ -24,6 +25,7 @@ from repro.core.state import LabellingState
 __all__ = [
     "CrowdRLConfig",
     "LabellingState",
+    "StateFeaturizer",
     "Assignment",
     "Agent",
     "Environment",

@@ -22,7 +22,7 @@ from repro.obs import phase_timer
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.selection import ActionStatistics
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
-from repro.utils.topk import select_objects_by_topk_q
+from repro.utils.topk import select_objects_by_topk_q, top_k_indices
 
 
 class Agent:
@@ -89,14 +89,17 @@ class Agent:
         corresponding half to uniform choice (ablations M1 / M2).
         """
         q = self.q_matrix(state)
+        # Fused score pass: one validity mask drives both the UCB bonus and
+        # the tie jitter (the bonus is capped, so finiteness never changes
+        # between the two additions).
+        valid = np.isfinite(q)
+        score = q
         if self.config.ucb_exploration:
             bonus = self.stats.bonus().reshape(self.n_objects, self.n_annotators)
             # Cap the infinite never-tried bonus so -inf masks always win and
             # scores stay comparable with Q-values (reward scale is ~1).
             bonus = np.minimum(bonus, self.config.ucb_bonus_cap)
-            score = np.where(np.isfinite(q), q + bonus, -np.inf)
-        else:
-            score = q
+            score = np.where(valid, score + bonus, -np.inf)
         # Tiny random jitter breaks score ties (ubiquitous early on, when
         # every untried pair carries the same capped bonus); without it the
         # argmax systematically favours low annotator ids and the agent
@@ -104,7 +107,7 @@ class Agent:
         if self.config.tie_jitter_scale > 0:
             jitter = self._rng.normal(scale=self.config.tie_jitter_scale,
                                       size=score.shape)
-            score = np.where(np.isfinite(score), score + jitter, score)
+            score = np.where(valid, score + jitter, score)
 
         if (self.config.demo_probability > 0
                 and self._rng.random() < self.config.demo_probability):
@@ -170,7 +173,9 @@ class Agent:
         selected = []
         for object_id in chosen:
             row = score[object_id]
-            order = np.argsort(-row, kind="stable")
+            # Full deterministic (value, -index) ranking via the unified
+            # top-k API, then the group-cap walk.
+            order = top_k_indices(row, row.size)
             annotators: list[int] = []
             n_in_group = 0
             for j in order:

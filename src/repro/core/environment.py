@@ -165,19 +165,20 @@ class Environment:
             with phase_timer("retrain"):
                 self.classifier.fit(self.features[ids], y)
 
-        unlabelled = [
-            i for i in range(self.platform.n_objects) if i not in labelled
-        ]
-        if not unlabelled:
+        keep = np.ones(self.platform.n_objects, dtype=bool)
+        keep[ids] = False
+        unlabelled = np.flatnonzero(keep)
+        if unlabelled.size == 0:
             return []
         proba = self.classifier.predict_proba(self.features[unlabelled])
         part = np.partition(proba, -2, axis=1)
         margins = part[:, -1] - part[:, -2]
-        newly = []
-        for row, object_id in enumerate(unlabelled):
-            if margins[row] > self.config.enrichment_margin:
-                self.enriched[object_id] = int(np.argmax(proba[row]))
-                newly.append(object_id)
+        # Vectorized margin test + argmax replaces the per-row Python loop;
+        # `confident` is ascending, preserving the old insertion order.
+        confident = np.flatnonzero(margins > self.config.enrichment_margin)
+        labels = proba[confident].argmax(axis=1)
+        newly = [int(i) for i in unlabelled[confident]]
+        self.enriched.update(zip(newly, (int(c) for c in labels)))
         return newly
 
     # ------------------------------------------------------------------

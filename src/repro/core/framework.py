@@ -32,6 +32,7 @@ from repro.datasets.base import LabelledDataset
 from repro.exceptions import ConfigurationError
 from repro.obs import get_registry, phase_timer
 from repro.utils.rng import SeedLike, as_rng
+from repro.utils.topk import top_k_indices
 
 
 class LabellingFramework:
@@ -335,11 +336,11 @@ class CrowdRL(LabellingFramework):
         costs = platform.pool.costs
         value = qualities / costs
         k = min(config.k_per_object, len(platform.pool))
-        preferred = np.argsort(-value, kind="stable")[:k]
+        preferred = top_k_indices(value, k)
         spent_before = platform.budget.spent
         with phase_timer("initial_sample"):
             platform.ask_batch(
-                (int(i), [int(j) for j in preferred]) for i in chosen
+                (int(i), list(preferred)) for i in chosen
             )
         get_registry().inc(
             "budget.initial_sample", platform.budget.spent - spent_before

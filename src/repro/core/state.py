@@ -16,6 +16,13 @@ candidate ``(object, annotator)`` action in the current state:
 Everything in the vector is derived from information the paper's State
 exposes (labelling history, costs, estimated qualities, classifier) —
 never from latent ground truth.
+
+The actual feature computation lives in
+:class:`repro.core.featurizer.StateFeaturizer`, which caches the pair
+tensor with dirty-set invalidation; :class:`LabellingState` exposes it as
+``state.featurizer`` and keeps thin delegating wrappers
+(:meth:`feature_tensor`, :meth:`pair_features`, the block accessors) for
+compatibility.
 """
 
 from __future__ import annotations
@@ -24,17 +31,27 @@ from typing import AbstractSet, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.featurizer import (
+    N_ANNOTATOR_FEATURES,
+    N_GLOBAL_FEATURES,
+    N_OBJECT_FEATURES,
+    N_PAIR_FEATURES,
+    StateFeaturizer,
+)
 from repro.crowd.cost import BudgetManager
 from repro.crowd.history import UNANSWERED, LabellingHistory
 from repro.crowd.pool import AnnotatorPool
 from repro.exceptions import ConfigurationError
 from repro.obs import phase_timer
 
-#: Featurization width; the Q-network's input size.
-N_OBJECT_FEATURES = 6
-N_ANNOTATOR_FEATURES = 4
-N_GLOBAL_FEATURES = 3
-N_PAIR_FEATURES = N_OBJECT_FEATURES + N_ANNOTATOR_FEATURES + N_GLOBAL_FEATURES
+__all__ = [
+    "LabellingState",
+    "StateFeaturizer",
+    "N_OBJECT_FEATURES",
+    "N_ANNOTATOR_FEATURES",
+    "N_GLOBAL_FEATURES",
+    "N_PAIR_FEATURES",
+]
 
 
 class LabellingState:
@@ -72,6 +89,9 @@ class LabellingState:
         self._classifier_proba: Optional[np.ndarray] = None
         self._human_labelled: set[int] = set()
         self._enriched: set[int] = set()
+        #: The cached featurizer; subscribes to ``history`` so recorded
+        #: answers invalidate only the touched rows/columns.
+        self.featurizer = StateFeaturizer(self)
 
     # ------------------------------------------------------------------
     # Updates from the environment
@@ -86,9 +106,15 @@ class LabellingState:
                     f"classifier proba must have shape {expected}, got {proba.shape}"
                 )
         self._classifier_proba = proba
+        self.featurizer.mark_classifier_dirty()
 
     def set_labelled(self, human: Sequence[int], enriched: Sequence[int]) -> None:
-        """Record which objects now carry labels (human-inferred / enriched)."""
+        """Record which objects now carry labels (human-inferred / enriched).
+
+        Only the global labelled-fraction features depend on these sets,
+        and the featurizer value-compares that block every call, so no
+        explicit invalidation is needed here.
+        """
         self._human_labelled = set(int(i) for i in human)
         self._enriched = set(int(i) for i in enriched)
 
@@ -102,103 +128,43 @@ class LabellingState:
     def unlabelled_objects(self) -> np.ndarray:
         """Ids of objects not yet labelled by humans or enrichment."""
         labelled = self.labelled_objects
-        return np.array(
-            [i for i in range(self.history.n_objects) if i not in labelled],
-            dtype=int,
-        )
+        keep = np.ones(self.history.n_objects, dtype=bool)
+        if labelled:
+            keep[np.fromiter(sorted(labelled), dtype=int)] = False
+        return np.flatnonzero(keep).astype(int)
 
     def all_labelled(self) -> bool:
         return len(self.labelled_objects) >= self.history.n_objects
 
     # ------------------------------------------------------------------
-    # Featurization
+    # Featurization (delegates to the cached StateFeaturizer)
     # ------------------------------------------------------------------
     def object_features(self) -> np.ndarray:
         """Per-object feature block, shape ``(|O|, N_OBJECT_FEATURES)``."""
-        n = self.history.n_objects
-        n_classes = self.history.n_classes
-        answered = (self.history.matrix != UNANSWERED)
-        n_answers = answered.sum(axis=1).astype(float)
-
-        vote_share = np.zeros(n)       # majority vote share among answers
-        for i in np.nonzero(n_answers > 0)[0]:
-            counts = self.history.answer_counts(i)
-            vote_share[i] = counts.max() / counts.sum()
-        disagreement = np.where(n_answers > 0, 1.0 - vote_share, 0.0)
-
-        if self._classifier_proba is not None:
-            proba = self._classifier_proba
-            part = np.partition(proba, -2, axis=1)
-            clf_margin = part[:, -1] - part[:, -2]
-            clf_maxp = proba.max(axis=1)
-            clf_entropy = (
-                -(proba * np.log(proba + 1e-12)).sum(axis=1) / np.log(n_classes)
-            )
-        else:
-            clf_margin = np.zeros(n)
-            clf_maxp = np.full(n, 1.0 / n_classes)
-            clf_entropy = np.ones(n)
-
-        return np.column_stack([
-            np.minimum(n_answers / self.answer_norm, 1.0),
-            disagreement,
-            vote_share,
-            clf_margin,
-            clf_maxp,
-            clf_entropy,
-        ])
+        return self.featurizer.object_features()
 
     def annotator_features(self) -> np.ndarray:
         """Per-annotator block (the State's cost/quality columns), ``(|W|, 4)``."""
-        costs = self.pool.costs
-        max_cost = costs.max()
-        qualities = self.pool.estimated_qualities()
-        experts = self.pool.expert_mask.astype(float)
-        loads = np.array([
-            self.history.annotator_load(j) for j in range(len(self.pool))
-        ], dtype=float)
-        load_norm = loads / max(self.history.n_objects, 1)
-        return np.column_stack([costs / max_cost, qualities, experts, load_norm])
+        return self.featurizer.annotator_features()
 
     def global_features(self) -> np.ndarray:
         """Run-level block, shape ``(N_GLOBAL_FEATURES,)``."""
-        n = self.history.n_objects
-        return np.array([
-            self.budget.remaining / self.budget.total,
-            len(self._human_labelled) / n,
-            len(self._enriched) / n,
-        ])
+        return self.featurizer.global_features()
 
     def pair_features(self, object_id: int, annotator_id: int) -> np.ndarray:
         """Featurize one candidate action ``(object_id, annotator_id)``."""
-        return np.concatenate([
-            self.object_features()[object_id],
-            self.annotator_features()[annotator_id],
-            self.global_features(),
-        ])
+        return self.featurizer.features()[object_id, annotator_id].copy()
 
     def feature_tensor(self) -> np.ndarray:
         """Featurize every pair: shape ``(|O|, |W|, N_PAIR_FEATURES)``.
 
-        Built by broadcasting the three blocks, so the cost is
-        ``O(|O| + |W|)`` feature computations, not ``O(|O||W|)``.
+        Returns the featurizer's cached tensor — a **read-only view**
+        refreshed in place with per-block dirty tracking, so between-step
+        cost is proportional to what changed.  Copy it to keep a snapshot
+        across further mutations.
         """
         with phase_timer("featurize"):
-            return self._feature_tensor()
-
-    def _feature_tensor(self) -> np.ndarray:
-        """Untimed body of :meth:`feature_tensor`."""
-        obj = self.object_features()
-        ann = self.annotator_features()
-        glob = self.global_features()
-        n_obj, n_ann = obj.shape[0], ann.shape[0]
-        tensor = np.empty((n_obj, n_ann, N_PAIR_FEATURES))
-        tensor[:, :, :N_OBJECT_FEATURES] = obj[:, None, :]
-        tensor[:, :, N_OBJECT_FEATURES:N_OBJECT_FEATURES + N_ANNOTATOR_FEATURES] = (
-            ann[None, :, :]
-        )
-        tensor[:, :, -N_GLOBAL_FEATURES:] = glob[None, None, :]
-        return tensor
+            return self.featurizer.features()
 
     def action_mask(self) -> np.ndarray:
         """Valid-action mask, shape ``(|O|, |W|)``.
@@ -217,12 +183,16 @@ class LabellingState:
         if labelled:
             mask[labelled, :] = False
         mask &= self.history.matrix == UNANSWERED
-        available = np.array([
-            self.budget.can_afford(a.cost)
-            and (a.capacity is None
-                 or self.history.annotator_load(a.annotator_id) < a.capacity)
+        # Affordability and capacity, vectorized over annotators; loads
+        # come from the featurizer's incrementally maintained counts.
+        costs = self.pool.costs
+        affordable = costs <= self.budget.remaining + 1e-9
+        capacities = np.array([
+            np.inf if a.capacity is None else float(a.capacity)
             for a in self.pool
         ])
+        loads = self.featurizer.annotator_loads()
+        available = affordable & (loads < capacities)
         if self.unavailable is not None:
             out = [int(j) for j in self.unavailable()
                    if 0 <= int(j) < len(self.pool)]

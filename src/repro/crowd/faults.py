@@ -331,7 +331,7 @@ class UnreliablePlatform(PlatformWrapper):
         value — inference and checkpoint replay both read them.
         """
         bad = self.fault_model.corrupt_answer(self.inner.n_classes)
-        self.inner.history.matrix[record.object_id, record.annotator_id] = bad
+        self.inner.history.amend(record.object_id, record.annotator_id, bad)
         fixed = AnswerRecord(record.object_id, record.annotator_id, bad,
                              record.cost)
         self.inner.answer_log[-1] = fixed

@@ -8,7 +8,6 @@ framework differs, so metric gaps are attributable to the framework.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Optional, Sequence, Union
 
@@ -253,30 +252,6 @@ def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
     _PRETRAINED_POLICIES[key] = framework._pretrained_weights
 
 
-#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
-_UNSET = object()
-
-
-def _coerce_spec(spec: Optional[ExperimentSpec],
-                 legacy: dict) -> ExperimentSpec:
-    """Merge deprecated per-kwarg options into a spec (or pass one through)."""
-    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if passed:
-        if spec is not None:
-            raise ConfigurationError(
-                f"pass options through ExperimentSpec *or* legacy kwargs, "
-                f"not both (got spec plus {sorted(passed)})"
-            )
-        warnings.warn(
-            f"run_experiment kwargs {sorted(passed)} are deprecated; pass "
-            f"run_experiment(name, setting, ExperimentSpec(...)) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return ExperimentSpec(**passed)
-    return spec if spec is not None else ExperimentSpec()
-
-
 def _resolve_metrics(spec: ExperimentSpec):
     """The (registry, event_log) pair a spec asks for; (None, None) = off.
 
@@ -308,14 +283,6 @@ def run_experiment(
     *,
     dataset: Optional[LabelledDataset] = None,
     pretrain: bool = True,
-    faults: Union[None, float, FaultModel] = _UNSET,
-    resilient: Union[None, bool, ResiliencePolicy] = _UNSET,
-    checkpoint_path: Optional[str] = _UNSET,
-    checkpoint_every: int = _UNSET,
-    resume: bool = _UNSET,
-    platform_hook: Optional[Callable] = _UNSET,
-    metrics: Union[None, bool, MetricsRegistry] = _UNSET,
-    metrics_out: Optional[str] = _UNSET,
 ) -> RunResult:
     """Run one framework on one setting and score it.
 
@@ -327,26 +294,16 @@ def run_experiment(
 
     Execution options — fault injection, resilient collection,
     checkpoint/resume, platform hooks and metrics — are carried by
-    ``spec`` (see :class:`ExperimentSpec`).  The corresponding keyword
-    arguments are deprecated aliases kept for one release; passing any of
-    them raises a :class:`DeprecationWarning` and is mutually exclusive
-    with ``spec``.
+    ``spec`` (see :class:`ExperimentSpec`), the single entry point for
+    run options (the deprecated per-option kwargs were removed after one
+    release of ``DeprecationWarning``).
 
     When the spec enables metrics, the run's registry snapshot lands on
     :attr:`RunResult.metrics` and — with ``metrics_out`` — a JSONL event
     log (phase events, run lifecycle, final snapshot) is flushed
     atomically to disk for ``python -m repro.obs report``.
     """
-    spec = _coerce_spec(spec, {
-        "faults": faults,
-        "resilient": resilient,
-        "checkpoint_path": checkpoint_path,
-        "checkpoint_every": checkpoint_every,
-        "resume": resume,
-        "platform_hook": platform_hook,
-        "metrics": metrics,
-        "metrics_out": metrics_out,
-    })
+    spec = spec if spec is not None else ExperimentSpec()
     registry, events = _resolve_metrics(spec)
     if registry is None:
         return _run_experiment(framework_name, setting, spec,

@@ -16,6 +16,17 @@ instrumentation point into a no-op — same philosophy as
 ``benchmarks/bench_obs.py`` pins the residual overhead under 5%.
 """
 
+from repro.obs.baseline import (
+    DEFAULT_TOLERANCE,
+    PHASE_BASELINE_MAP,
+    PhaseComparison,
+    calibrate,
+    compare_to_baseline,
+    load_baseline,
+    phase_minima,
+    render_comparison,
+    write_baseline,
+)
 from repro.obs.events import JsonlEventLog, read_events
 from repro.obs.registry import (
     DEFAULT_TIME_EDGES,
@@ -59,4 +70,13 @@ __all__ = [
     "load_summary",
     "render_report",
     "summarize_snapshot",
+    "DEFAULT_TOLERANCE",
+    "PHASE_BASELINE_MAP",
+    "PhaseComparison",
+    "calibrate",
+    "compare_to_baseline",
+    "load_baseline",
+    "phase_minima",
+    "render_comparison",
+    "write_baseline",
 ]

@@ -1,0 +1,258 @@
+"""Per-phase performance baselines with a machine-normalised CI ratchet.
+
+The episode hot path is instrumented with :func:`repro.obs.phase_timer`
+blocks, and every call's duration lands in the run's metrics JSONL as a
+raw ``phase`` event.  This module turns those durations into a committed
+baseline (``benchmarks/results/BENCH_phase_baselines.json``) and a
+comparison that CI can ratchet — the performance analogue of
+``.repro-flow-baseline.json``:
+
+* **minimum-over-calls** per phase is the statistic (an episode calls
+  each phase tens of times; the minimum filters scheduler interference
+  the way ``bench_obs.py``'s ``min(timeit.repeat(...))`` does);
+* every duration is **normalised by a calibration kernel** timed on the
+  same machine at comparison time, so a committed baseline from the
+  reference VM transfers to a faster/slower CI box — only the *ratio*
+  of phase time to calibration time is ratcheted;
+* durations under :data:`FLOOR_S` are clamped before comparison: below
+  that, timer noise dominates and a "regression" is meaningless;
+* a phase regresses when its normalised duration exceeds
+  ``tolerance`` × the baseline's (default :data:`DEFAULT_TOLERANCE`,
+  the ISSUE's >25% bar).
+
+Driven by ``python -m repro.obs report <run.jsonl> --baseline <json>``
+(compare, exit 1 on regression) and ``--write-baseline`` (re-baseline
+after an intentional change); ``benchmarks/bench_phase_ratchet.py``
+produces the run deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import timeit
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.obs.events import PathLike, read_events
+from repro.utils.tables import format_table
+
+#: Ratcheted phase -> the ``phase_timer`` name carrying it in the JSONL.
+#: (``e_step``/``m_step`` run inside the ``infer`` phase, hence the
+#: namespaced names.)  DESIGN.md documents the map next to the featurizer.
+PHASE_BASELINE_MAP: Dict[str, str] = {
+    "featurize": "featurize",
+    "q_forward": "q_forward",
+    "select": "select",
+    "collect": "collect",
+    "e_step": "infer.e_step",
+    "m_step": "infer.m_step",
+    "enrich": "enrich",
+    "dqn_train": "dqn_train",
+}
+
+#: Fail on a > 25% normalised regression of any ratcheted phase.
+DEFAULT_TOLERANCE = 1.25
+
+#: Durations below this are timer noise; clamped before comparison.
+FLOOR_S = 50e-6
+
+_CAL_SIZE = 160
+
+
+def _calibration_workload() -> np.ndarray:
+    """Deterministic numpy workload of the hot path's flavour."""
+    base = np.arange(_CAL_SIZE * _CAL_SIZE, dtype=float) % 97.0
+    return base.reshape(_CAL_SIZE, _CAL_SIZE) / 96.0 + 0.5
+
+
+def calibration_kernel(work: Optional[np.ndarray] = None) -> float:
+    """One pass of the calibration workload (matmul + sort + reduce).
+
+    Mirrors what the instrumented phases actually do — dense linear
+    algebra, ordering, reductions on a few-hundred-row matrix — so its
+    runtime tracks theirs across machines.
+    """
+    if work is None:
+        work = _calibration_workload()
+    out = work @ work
+    out = np.sort(out, axis=1)
+    return float(np.log(out).sum())
+
+
+def calibrate(repeats: int = 7, number: int = 5) -> float:
+    """Seconds per calibration-kernel pass on this machine (min of repeats)."""
+    work = _calibration_workload()
+    calibration_kernel(work)  # warm caches / allocator before timing
+    return min(
+        timeit.repeat(lambda: calibration_kernel(work),
+                      number=number, repeat=repeats)
+    ) / number
+
+
+def phase_minima(path: PathLike) -> Dict[str, dict]:
+    """Per-ratcheted-phase ``{"min_s", "calls"}`` from a metrics JSONL.
+
+    Reads the raw per-call ``phase`` events (not the aggregated
+    snapshot), so the minimum over calls is available.
+    """
+    wanted = {jsonl: name for name, jsonl in PHASE_BASELINE_MAP.items()}
+    stats: Dict[str, dict] = {}
+    for event in read_events(path):
+        if event.get("kind") != "phase":
+            continue
+        name = wanted.get(event.get("name"))
+        if name is None:
+            continue
+        elapsed = float(event.get("elapsed_s", 0.0))
+        stat = stats.setdefault(name, {"min_s": elapsed, "calls": 0})
+        stat["calls"] += 1
+        if elapsed < stat["min_s"]:
+            stat["min_s"] = elapsed
+    return stats
+
+
+def merge_minima(runs: List[Dict[str, dict]]) -> Dict[str, dict]:
+    """Minimum over repeated runs (the tight-loop-repeat of episodes)."""
+    merged: Dict[str, dict] = {}
+    for run in runs:
+        for name, stat in run.items():
+            seen = merged.get(name)
+            if seen is None:
+                merged[name] = dict(stat)
+            else:
+                seen["min_s"] = min(seen["min_s"], stat["min_s"])
+                seen["calls"] += stat["calls"]
+    return merged
+
+
+def write_baseline(path: PathLike, minima: Dict[str, dict],
+                   calibration_s: float, *, note: str = "") -> dict:
+    """Write the committed baseline JSON; returns the written document."""
+    doc = {
+        "schema": "repro-phase-baseline-v1",
+        "note": note,
+        "calibration_s": calibration_s,
+        "floor_s": FLOOR_S,
+        "phases": {
+            name: {"min_s": stat["min_s"], "calls": stat["calls"]}
+            for name, stat in sorted(minima.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_baseline(path: PathLike) -> dict:
+    """Load a baseline document written by :func:`write_baseline`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise ReproError(f"cannot read phase baseline {path}: {err}") from err
+    if doc.get("schema") != "repro-phase-baseline-v1":
+        raise ReproError(
+            f"{path} is not a phase baseline (schema "
+            f"{doc.get('schema')!r})"
+        )
+    return doc
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One phase's ratchet verdict."""
+
+    phase: str
+    baseline_norm: float   # baseline min_s / baseline calibration_s (floored)
+    current_norm: float    # current  min_s / current  calibration_s (floored)
+    ratio: float           # current_norm / baseline_norm
+    regressed: bool
+    missing: bool = False  # phase in the baseline never ran in this log
+
+
+def compare_to_baseline(
+    minima: Dict[str, dict],
+    calibration_s: float,
+    baseline: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[PhaseComparison]:
+    """Ratchet ``minima`` against a committed baseline.
+
+    Both sides are floored at the baseline's ``floor_s`` and normalised
+    by their own machine's calibration time; a phase regresses when its
+    normalised minimum exceeds ``tolerance`` times the baseline's.  A
+    baseline phase absent from the current log counts as regressed (the
+    deterministic ratchet workload must exercise every ratcheted phase).
+    """
+    if tolerance <= 1.0:
+        raise ReproError(f"tolerance must be > 1.0, got {tolerance}")
+    base_cal = float(baseline["calibration_s"])
+    floor = float(baseline.get("floor_s", FLOOR_S))
+    results: List[PhaseComparison] = []
+    for phase, base_stat in sorted(baseline["phases"].items()):
+        base_norm = max(float(base_stat["min_s"]), floor) / base_cal
+        current = minima.get(phase)
+        if current is None or current["calls"] == 0:
+            results.append(PhaseComparison(
+                phase=phase, baseline_norm=base_norm, current_norm=float("inf"),
+                ratio=float("inf"), regressed=True, missing=True,
+            ))
+            continue
+        cur_norm = max(float(current["min_s"]), floor) / calibration_s
+        ratio = cur_norm / base_norm
+        results.append(PhaseComparison(
+            phase=phase, baseline_norm=base_norm, current_norm=cur_norm,
+            ratio=ratio, regressed=ratio > tolerance,
+        ))
+    return results
+
+
+def render_comparison(results: List[PhaseComparison],
+                      tolerance: float = DEFAULT_TOLERANCE) -> str:
+    """Plain-text ratchet table (normalised units: phase / calibration)."""
+    rows = []
+    for res in results:
+        if res.missing:
+            status = "MISSING"
+        elif res.regressed:
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        rows.append([
+            res.phase,
+            f"{res.baseline_norm:.3f}",
+            "-" if res.missing else f"{res.current_norm:.3f}",
+            "-" if res.missing else f"{res.ratio:.2f}x",
+            status,
+        ])
+    table = format_table(
+        ["phase", "baseline", "current", "ratio", "status"], rows
+    )
+    regressed = [r.phase for r in results if r.regressed]
+    verdict = (
+        f"perf ratchet FAILED (> {tolerance:.2f}x): {', '.join(regressed)}"
+        if regressed
+        else f"perf ratchet ok (all phases within {tolerance:.2f}x)"
+    )
+    return table + "\n\n" + verdict
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "FLOOR_S",
+    "PHASE_BASELINE_MAP",
+    "PhaseComparison",
+    "calibrate",
+    "calibration_kernel",
+    "compare_to_baseline",
+    "load_baseline",
+    "merge_minima",
+    "phase_minima",
+    "render_comparison",
+    "write_baseline",
+]

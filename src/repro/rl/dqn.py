@@ -97,7 +97,9 @@ class DQNAgent:
         holds *all* candidate action featurizations in the successor state
         (rows), from which the bootstrap max is computed.
         """
-        features = np.asarray(features, dtype=float).ravel()
+        # Copy defensively: callers may hand in views of live caches (e.g.
+        # the featurizer's in-place tensor), and the buffer outlives them.
+        features = np.array(features, dtype=float).ravel()
         if features.size != self.config.n_features:
             raise ConfigurationError(
                 f"features must have {self.config.n_features} entries, got "
@@ -105,7 +107,7 @@ class DQNAgent:
             )
         nxt = None
         if next_features is not None and not terminal:
-            nxt = np.atleast_2d(np.asarray(next_features, dtype=float))
+            nxt = np.atleast_2d(np.array(next_features, dtype=float))
             if nxt.shape[1] != self.config.n_features:
                 raise ConfigurationError(
                     f"next_features must have {self.config.n_features} columns, "

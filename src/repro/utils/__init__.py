@@ -1,7 +1,13 @@
 """Small shared utilities: RNG handling, validation, top-k selection, tables."""
 
 from repro.utils.rng import as_rng, spawn_rngs
-from repro.utils.topk import top_k_indices, top_k_sum, select_objects_by_topk_q
+from repro.utils.topk import (
+    select_objects_by_topk_q,
+    select_objects_by_topk_q_reference,
+    top_k_indices,
+    top_k_indices_reference,
+    top_k_sum,
+)
 from repro.utils.validation import (
     check_fraction,
     check_positive,
@@ -13,8 +19,10 @@ __all__ = [
     "as_rng",
     "spawn_rngs",
     "top_k_indices",
+    "top_k_indices_reference",
     "top_k_sum",
     "select_objects_by_topk_q",
+    "select_objects_by_topk_q_reference",
     "check_fraction",
     "check_positive",
     "check_probability_matrix",

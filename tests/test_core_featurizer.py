@@ -1,0 +1,165 @@
+"""StateFeaturizer: public API, dirty-set caching, invalidation soundness.
+
+The cache's correctness contract is that after *any* interleaving of
+state mutations — answers recorded, answers amended (fault corruption),
+quality estimates refreshed, classifier probabilities installed,
+labelled sets updated, budget spent — the cached tensor equals a
+from-scratch featurization of the same state.  The property test below
+drives random interleavings through the real mutation entry points and
+pins exactly that.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import make_platform
+from repro.core.featurizer import N_PAIR_FEATURES, StateFeaturizer
+from repro.core.state import LabellingState
+from repro.crowd.history import UNANSWERED
+from repro.datasets.registry import load_dataset
+
+
+def build_state(seed: int = 0) -> LabellingState:
+    dataset = load_dataset("S12CP", scale=0.01, rng=seed)
+    platform = make_platform(
+        dataset, n_workers=3, n_experts=2, budget=1e9, rng=seed + 1
+    )
+    state = LabellingState(
+        platform.history, platform.pool, platform.budget, mask_enriched=False
+    )
+    state.platform = platform  # for tests that drive mutations
+    return state
+
+
+def fresh_tensor(state: LabellingState) -> np.ndarray:
+    """From-scratch featurization: a brand-new featurizer over the state."""
+    return StateFeaturizer(state).features().copy()
+
+
+class TestPublicApi:
+    def test_exported_from_package_root(self):
+        assert repro.StateFeaturizer is StateFeaturizer
+        assert "StateFeaturizer" in dir(repro)
+
+    def test_features_is_readonly_view(self):
+        state = build_state()
+        view = state.featurizer.features()
+        assert view.shape == (
+            state.history.n_objects, len(state.pool), N_PAIR_FEATURES
+        )
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0, 0] = 1.0
+
+    def test_block_accessors_return_copies(self):
+        state = build_state()
+        obj = state.featurizer.object_features()
+        obj[:] = -1.0  # snapshot: mutating it must not corrupt the cache
+        assert not np.array_equal(
+            state.featurizer.object_features(), obj
+        )
+
+    def test_mark_dirty_refreshes_touched_rows(self):
+        state = build_state()
+        before = state.featurizer.features().copy()
+        state.platform.ask(0, 0)
+        after = state.featurizer.features()
+        assert not np.array_equal(after[0], before[0])
+        assert np.array_equal(after, fresh_tensor(state))
+
+    def test_invalidate_recomputes_everything(self):
+        state = build_state()
+        first = state.featurizer.features().copy()
+        state.featurizer.invalidate()
+        assert np.array_equal(state.featurizer.features(), first)
+
+    def test_amend_invalidates_object_row(self):
+        state = build_state()
+        state.platform.ask(1, 2)
+        state.featurizer.features()
+        old_answer = int(state.history.matrix[1, 2])
+        state.history.amend(1, 2, (old_answer + 1) % state.history.n_classes)
+        assert np.array_equal(
+            state.featurizer.features(), fresh_tensor(state)
+        )
+
+    def test_classifier_update_refreshes_clf_columns(self):
+        state = build_state()
+        state.featurizer.features()
+        proba = np.full(
+            (state.history.n_objects, state.history.n_classes),
+            1.0 / state.history.n_classes,
+        )
+        proba[:, 0] = 0.9
+        proba /= proba.sum(axis=1, keepdims=True)
+        state.set_classifier_proba(proba)
+        assert np.array_equal(
+            state.featurizer.features(), fresh_tensor(state)
+        )
+
+    def test_annotator_loads_track_history(self):
+        state = build_state()
+        state.platform.ask(0, 1)
+        state.platform.ask(2, 1)
+        loads = state.featurizer.annotator_loads()
+        assert loads[1] == 2
+        assert not loads.flags.writeable
+
+
+# ---------------------------------------------------------------------------
+# Cache-invalidation property: random interleavings of real mutations.
+# ---------------------------------------------------------------------------
+
+#: (op_code, payload) pairs; payloads are reduced modulo whatever the op
+#: needs, so every draw is valid against any state.
+operations = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 10 ** 6)),
+    min_size=0,
+    max_size=25,
+)
+
+
+def _apply(state: LabellingState, op: int, payload: int) -> None:
+    history = state.history
+    n, w = history.n_objects, len(state.pool)
+    if op == 0:  # record a new answer (the common step mutation)
+        obj, ann = (payload // w) % n, payload % w
+        if not history.has_answered(obj, ann):
+            state.platform.ask(obj, ann)
+    elif op == 1:  # amend an existing answer (fault corruption path)
+        answered = np.argwhere(history.matrix != UNANSWERED)
+        if answered.size:
+            obj, ann = answered[payload % len(answered)]
+            history.amend(
+                int(obj), int(ann), payload % history.n_classes
+            )
+    elif op == 2:  # refresh quality estimates from current truths
+        truths = {i: payload % history.n_classes for i in range(n)}
+        state.pool.update_estimates(history, truths)
+    elif op == 3:  # install / replace classifier probabilities
+        raw = 1.0 + ((payload + np.arange(n * history.n_classes))
+                     % 7).astype(float).reshape(n, history.n_classes)
+        state.set_classifier_proba(raw / raw.sum(axis=1, keepdims=True))
+    elif op == 4:  # move objects into the labelled sets
+        ids = np.arange(n)[: payload % (n + 1)]
+        state.set_labelled(ids[::2], ids[1::2])
+    elif op == 5:  # spend budget (global block must track it)
+        state.budget.charge(float(payload % 5))
+
+
+@given(ops=operations, seed=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_cached_tensor_equals_from_scratch_after_any_interleaving(ops, seed):
+    state = build_state(seed)
+    for op, payload in ops:
+        _apply(state, op, payload)
+        # Read between some mutations too: a cache that is only correct
+        # when refreshed once at the end would pass a weaker test.
+        if op % 2 == 0:
+            state.featurizer.features()
+    assert np.array_equal(state.featurizer.features(), fresh_tensor(state))
+    expected_loads = (state.history.matrix != UNANSWERED).sum(axis=0)
+    assert np.array_equal(state.featurizer.annotator_loads(), expected_loads)

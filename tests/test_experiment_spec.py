@@ -1,4 +1,4 @@
-"""ExperimentSpec consolidation and the deprecated-kwarg compatibility path."""
+"""ExperimentSpec consolidation: the spec is the only run-options entry point."""
 
 import numpy as np
 import pytest
@@ -33,32 +33,42 @@ class TestSpecValidation:
             ExperimentSpec(resume=True)
 
 
-class TestLegacyKwargs:
-    def test_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            run_experiment("DLTA", SETTING, pretrain=False, faults=0.0)
+class TestLegacyKwargsRemoved:
+    """The pre-spec per-option kwargs warned for one release, then left."""
 
-    def test_legacy_equals_spec(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_experiment("DLTA", SETTING, pretrain=False,
-                                    faults=0.0, resilient=True)
-        spec = run_experiment("DLTA", SETTING,
-                              ExperimentSpec(faults=0.0, resilient=True),
-                              pretrain=False)
-        assert legacy.report == spec.report
-        assert np.array_equal(legacy.outcome.final_labels,
-                              spec.outcome.final_labels)
-        assert legacy.outcome.spent == spec.outcome.spent
+    @pytest.mark.parametrize("kwarg", [
+        {"faults": 0.0},
+        {"resilient": True},
+        {"checkpoint_path": "run.ckpt"},
+        {"checkpoint_every": 10},
+        {"resume": True},
+        {"platform_hook": lambda p: p},
+        {"metrics": True},
+        {"metrics_out": "run.jsonl"},
+    ])
+    def test_legacy_kwargs_are_rejected(self, kwarg):
+        with pytest.raises(TypeError, match="unexpected keyword argument"):
+            run_experiment("DLTA", SETTING, pretrain=False, **kwarg)
 
-    def test_spec_plus_legacy_kwargs_is_an_error(self):
-        with pytest.raises(ConfigurationError, match="not both"):
-            run_experiment("DLTA", SETTING, ExperimentSpec(), faults=0.1)
+    def test_spec_runs_are_deterministic(self):
+        first = run_experiment("DLTA", SETTING,
+                               ExperimentSpec(faults=0.0, resilient=True),
+                               pretrain=False)
+        again = run_experiment("DLTA", SETTING,
+                               ExperimentSpec(faults=0.0, resilient=True),
+                               pretrain=False)
+        assert first.report == again.report
+        assert np.array_equal(first.outcome.final_labels,
+                              again.outcome.final_labels)
+        assert first.outcome.spent == again.outcome.spent
 
-    def test_legacy_checkpoint_kwargs_roundtrip(self, tmp_path):
+    def test_spec_checkpoint_roundtrip(self, tmp_path):
         path = tmp_path / "run.ckpt"
-        with pytest.warns(DeprecationWarning):
-            first = run_experiment("DLTA", SETTING, pretrain=False,
-                                   checkpoint_path=path, checkpoint_every=10)
+        first = run_experiment(
+            "DLTA", SETTING,
+            ExperimentSpec(checkpoint_path=path, checkpoint_every=10),
+            pretrain=False,
+        )
         resumed = run_experiment(
             "DLTA", SETTING,
             ExperimentSpec(checkpoint_path=path, resume=True),

@@ -1,0 +1,93 @@
+"""Bit-identity of the vectorized hot path against git-seed references.
+
+The PR that vectorized the episode hot path (StateFeaturizer dirty-set
+caching, fused agent scoring, argpartition top-k) promised **bit-identical
+seeds**: every committed experiment output must reproduce exactly, not
+approximately.  The reference values below were captured by running the
+pre-vectorization implementation (the repository state before that PR)
+over a fig4/fig8-style matrix — datasets x frameworks x seeds at tiny
+scale, plus one pretrained run exercising the policy cache — and
+recording accuracy, F1, budget spent, iteration count and a digest of
+the final label vector.
+
+If any of these comparisons drifts, the hot path changed numerics;
+either a bug was introduced or a deliberate numerical change needs these
+references (and every committed figure) regenerated together.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentSetting,
+    clear_pretrained_policies,
+    run_experiment,
+)
+
+#: key -> (accuracy, f1, spent, iterations, sha256[:16] of final labels),
+#: captured from the pre-vectorization implementation (see module docstring).
+SEED_REFERENCES = {
+    "fig4:S12CP:CrowdRL-pretrained:seed7": (0.8936170212765957, 0.912280701754386, 200.0, 5, "b020e6505eab1930"),
+    "fig4:S12CP:CrowdRL:seed0": (0.6382978723404256, 0.6530612244897959, 200.0, 8, "420d864c2d301262"),
+    "fig4:S12CP:CrowdRL:seed1": (0.5957446808510638, 0.6885245901639345, 200.0, 5, "3b752fdc2ba1aa61"),
+    "fig4:S12CP:CrowdRL:seed2": (0.6170212765957447, 0.6785714285714286, 200.0, 5, "000fc427118081b1"),
+    "fig4:S12CP:DLTA:seed0": (0.8085106382978723, 0.8301886792452831, 191.0, 13, "ccc2f652d3d77291"),
+    "fig4:S12CP:DLTA:seed1": (0.723404255319149, 0.7346938775510204, 191.0, 13, "f4cff0fe7a5e9e94"),
+    "fig4:S12CP:DLTA:seed2": (0.7659574468085106, 0.7924528301886793, 200.0, 9, "ba6757cadd890e3f"),
+    "fig4:S12CP:IDLE:seed0": (0.7659574468085106, 0.7555555555555555, 171.0, 13, "a0cfd7abad10aea2"),
+    "fig4:S12CP:IDLE:seed1": (0.8723404255319149, 0.896551724137931, 191.0, 13, "72795b6c5678b32c"),
+    "fig4:S12CP:IDLE:seed2": (0.8297872340425532, 0.8181818181818182, 191.0, 14, "43a6e864d73351d2"),
+    "fig4:S3CP:CrowdRL:seed0": (0.8421052631578947, 0.823529411764706, 200.0, 8, "dbab75e15d6b7b76"),
+    "fig4:S3CP:CrowdRL:seed1": (0.8421052631578947, 0.8846153846153847, 200.0, 5, "11d99e36fb25f9b8"),
+    "fig4:S3CP:CrowdRL:seed2": (0.7105263157894737, 0.717948717948718, 200.0, 5, "ca54a86a8ec67d29"),
+    "fig4:S3CP:DLTA:seed0": (0.631578947368421, 0.6666666666666666, 186.0, 10, "f99bf6821ae69e23"),
+    "fig4:S3CP:DLTA:seed1": (0.7105263157894737, 0.744186046511628, 114.0, 10, "440d8ac6f55b87a7"),
+    "fig4:S3CP:DLTA:seed2": (0.7368421052631579, 0.761904761904762, 200.0, 9, "ff15d2f99ce723f2"),
+    "fig4:S3CP:IDLE:seed0": (0.6578947368421053, 0.5806451612903226, 164.0, 11, "844910671b064ad7"),
+    "fig4:S3CP:IDLE:seed1": (0.8157894736842105, 0.8444444444444444, 164.0, 11, "0ee399576fa2fc50"),
+    "fig4:S3CP:IDLE:seed2": (0.8157894736842105, 0.8444444444444444, 164.0, 11, "5baa6b38fb18693f"),
+    "fig8:M1:seed0": (0.7659574468085106, 0.7441860465116279, 200.0, 8, "65a3e354d0bc6992"),
+    "fig8:M1:seed1": (0.6808510638297872, 0.7457627118644068, 200.0, 5, "165a3e04e13ed088"),
+    "fig8:M2:seed0": (0.851063829787234, 0.8444444444444444, 200.0, 4, "a51f1180fa85ad57"),
+    "fig8:M2:seed1": (0.7021276595744681, 0.7666666666666667, 200.0, 5, "be70bd52554d9637"),
+    "fig8:M3:seed0": (0.6808510638297872, 0.7540983606557378, 200.0, 5, "bebdd909f51e9f46"),
+    "fig8:M3:seed1": (0.5531914893617021, 0.7042253521126761, 200.0, 5, "2226d4da6f5775e7"),
+}
+
+
+def _parse(key: str):
+    """``fig4:<dataset>:<framework>:seed<n>`` / ``fig8:<framework>:seed<n>``."""
+    parts = key.split(":")
+    if parts[0] == "fig4":
+        _, dataset, framework, seed = parts
+    else:
+        _, framework, seed = parts
+        dataset = "S12CP"
+    pretrain = framework.endswith("-pretrained")
+    framework = framework.replace("-pretrained", "")
+    return dataset, framework, int(seed.removeprefix("seed")), pretrain
+
+
+def _labels_digest(labels) -> str:
+    joined = ",".join(str(int(x)) for x in labels)
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize("key", sorted(SEED_REFERENCES))
+def test_seed_outputs_are_bit_identical(key):
+    dataset, framework, seed, pretrain = _parse(key)
+    clear_pretrained_policies()
+    result = run_experiment(
+        framework,
+        ExperimentSetting(dataset, scale=0.02, seed=seed),
+        pretrain=pretrain,
+    )
+    accuracy, f1, spent, iterations, digest = SEED_REFERENCES[key]
+    # Exact equality on floats is the point: the vectorized path promises
+    # the same IEEE operations as the git-seed reference, not tolerances.
+    assert result.report.accuracy == accuracy, key
+    assert result.report.f1 == f1, key
+    assert result.outcome.spent == spent, key
+    assert result.outcome.iterations == iterations, key
+    assert _labels_digest(result.outcome.final_labels) == digest, key
