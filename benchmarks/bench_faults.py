@@ -15,12 +15,12 @@ import numpy as np
 import pytest
 
 from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.compose import wrap
 from repro.crowd.confusion import ConfusionMatrix
 from repro.crowd.cost import BudgetManager
-from repro.crowd.faults import FaultModel, UnreliablePlatform
+from repro.crowd.faults import FaultModel
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.pool import AnnotatorPool
-from repro.crowd.resilient import ResilientCollector
 
 N_OBJECTS = 200
 N_ANNOTATORS = 8
@@ -55,7 +55,8 @@ def _wrapped(rate):
     def factory():
         platform = _build_platform()
         model = FaultModel.from_rate(N_ANNOTATORS, rate, rng=1)
-        return ResilientCollector(UnreliablePlatform(platform, model), rng=2)
+        return wrap(platform, faults=model, resilient=True,
+                    resilience_seed=2)
     return factory
 
 

@@ -1,0 +1,183 @@
+"""Online-serving overlap: in-flight collection vs serial collection.
+
+The serving PR's acceptance bar is that the event loop actually buys
+concurrency: answers collected *in flight* (annotators working in
+parallel on the virtual clock, sessions interleaving on one pool) must
+finish in less virtual time than collecting the same answers one at a
+time.  Everything here runs on the deterministic
+:class:`~repro.serve.clock.VirtualClock`, so the numbers are exact and
+reproducible — this benchmark measures the *schedule*, not host timing.
+
+Two overlap ratios are pinned:
+
+* **single project** — one served CrowdRL run; ratio of the serial
+  service total (the sum of every answer's service time, i.e. one
+  annotator at a time) to the virtual makespan.  With 3 workers and 2
+  experts sharing the load the schedule should beat serial comfortably.
+* **multi-tenant** — eight projects on one shared pool through
+  :class:`~repro.serve.engine.ServeEngine`; ratio of the back-to-back
+  total (each project served alone on its own clock, makespans summed)
+  to the shared-engine makespan.  Interleaving sessions keeps annotators
+  busy across project boundaries, so this must also beat 1.
+
+Run as a script to print the table, enforce the overlap floors and write
+``benchmarks/results/BENCH_serve_overlap.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Environment knobs: ``REPRO_SERVE_SCALE`` (dataset scale, default 0.05),
+``REPRO_SERVE_MIN_OVERLAP`` (single-project floor, default 1.5),
+``REPRO_SERVE_MIN_TENANT_OVERLAP`` (multi-tenant floor, default 1.1 —
+cross-session interleaving is bounded by each episode's batch barriers,
+so it buys less than intra-batch parallelism), ``REPRO_WRITE_BENCH=0``
+to skip the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.config import CrowdRLConfig
+from repro.core.framework import CrowdRL
+from repro.crowd.pool import AnnotatorPool
+from repro.datasets.registry import load_dataset
+from repro.harness.experiment import (
+    ExperimentSetting,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.serve import ServeEngine
+from repro.utils.tables import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULT_JSON = os.path.join(RESULTS_DIR, "BENCH_serve_overlap.json")
+
+SCALE = float(os.environ.get("REPRO_SERVE_SCALE", "0.05"))
+MIN_OVERLAP = float(os.environ.get("REPRO_SERVE_MIN_OVERLAP", "1.5"))
+MIN_TENANT_OVERLAP = float(
+    os.environ.get("REPRO_SERVE_MIN_TENANT_OVERLAP", "1.1")
+)
+
+N_PROJECTS = 8
+PROJECT_BUDGET = 80.0
+
+
+def measure_single_project(scale: float = SCALE) -> dict:
+    """One served run: virtual makespan vs the serial service total."""
+    setting = ExperimentSetting("S12CP", scale=scale, seed=0)
+    result = run_experiment(
+        "CrowdRL", setting, ExperimentSpec(serve=True, metrics=True),
+        pretrain=False,
+    )
+    serve = result.outcome.extras["serve"]
+    serial = result.metrics["histograms"]["serve.service_s"]["sum"]
+    return {
+        "completed": serve["completed"],
+        "makespan_s": serve["makespan"],
+        "serial_s": serial,
+        "lease_wait_s": serve["lease_wait_s"],
+        "overlap": serial / serve["makespan"],
+    }
+
+
+def _projects(scale: float):
+    """The benchmark's fixed project set (datasets + framework seeds)."""
+    datasets = [
+        load_dataset("S12CP", scale=scale, rng=100 + i)
+        for i in range(N_PROJECTS)
+    ]
+    return datasets
+
+
+def measure_multi_tenant(scale: float = SCALE) -> dict:
+    """Eight shared-pool sessions vs the same eight back to back."""
+    datasets = _projects(scale)
+    pool = AnnotatorPool.build(datasets[0].n_classes, 3, 2, rng=7)
+
+    shared = ServeEngine(pool)
+    for i, dataset in enumerate(datasets):
+        shared.add_project(
+            f"proj{i}", dataset, CrowdRL(CrowdRLConfig(), rng=200 + i),
+            budget=PROJECT_BUDGET, seed=i,
+        )
+    shared_report = shared.run()
+
+    # Back-to-back baseline: each project alone on a fresh engine (its
+    # own clock), so the pool never interleaves sessions.
+    solo_total = 0.0
+    for i, dataset in enumerate(datasets):
+        solo_pool = AnnotatorPool.build(dataset.n_classes, 3, 2, rng=7)
+        solo = ServeEngine(solo_pool)
+        solo.add_project(
+            f"proj{i}", dataset, CrowdRL(CrowdRLConfig(), rng=200 + i),
+            budget=PROJECT_BUDGET, seed=i,
+        )
+        solo_total += solo.run().makespan
+
+    return {
+        "n_projects": N_PROJECTS,
+        "shared_makespan_s": shared_report.makespan,
+        "back_to_back_s": solo_total,
+        "lease_wait_s": shared_report.lease_wait_s,
+        "overlap": solo_total / shared_report.makespan,
+    }
+
+
+def measure(scale: float = SCALE) -> dict:
+    """Both overlap measurements on the virtual clock."""
+    return {
+        "scale": scale,
+        "single_project": measure_single_project(scale),
+        "multi_tenant": measure_multi_tenant(scale),
+    }
+
+
+def render(result: dict) -> str:
+    """Plain-text summary table of the two overlap ratios."""
+    single = result["single_project"]
+    multi = result["multi_tenant"]
+    rows = [
+        ["single project", f"{single['serial_s']:.1f}",
+         f"{single['makespan_s']:.1f}", f"{single['overlap']:.2f}x"],
+        [f"multi-tenant ({multi['n_projects']} sessions)",
+         f"{multi['back_to_back_s']:.1f}",
+         f"{multi['shared_makespan_s']:.1f}", f"{multi['overlap']:.2f}x"],
+    ]
+    header = (
+        f"serving overlap at scale {result['scale']} "
+        f"(virtual seconds, deterministic)"
+    )
+    return header + "\n" + format_table(
+        ["workload", "serial (s)", "overlapped (s)", "overlap"], rows
+    )
+
+
+def main() -> int:
+    """Measure, render, optionally persist, and enforce the floors."""
+    result = measure()
+    print(render(result))
+    if os.environ.get("REPRO_WRITE_BENCH", "1") != "0":
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(RESULT_JSON, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {RESULT_JSON}")
+    failed = False
+    for name, floor in (
+        ("single_project", MIN_OVERLAP),
+        ("multi_tenant", MIN_TENANT_OVERLAP),
+    ):
+        overlap = result[name]["overlap"]
+        if overlap < floor:
+            print(f"FAIL: {name} overlap {overlap:.2f}x is below the "
+                  f"{floor:.2f}x floor")
+            failed = True
+        else:
+            print(f"ok: {name} overlap {overlap:.2f}x "
+                  f">= {floor:.2f}x floor")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,8 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentSetting",
     "StateFeaturizer",
+    "Platform",
+    "wrap",
     "__version__",
 ]
 
@@ -71,9 +73,14 @@ _LAZY_HARNESS = ("run_experiment", "ExperimentSpec", "ExperimentSetting")
 #: cost is deferred until first use.
 _LAZY_CORE = ("StateFeaturizer",)
 
+#: Crowd composition names resolved lazily, like ``StateFeaturizer``:
+#: the protocol and the wrapper-chain builder are type/composition
+#: surface, not hot-path imports.
+_LAZY_CROWD = ("Platform", "wrap")
+
 
 def __getattr__(name: str):
-    """Lazily expose the harness/core entry points (PEP 562)."""
+    """Lazily expose the harness/core/crowd entry points (PEP 562)."""
     if name in _LAZY_HARNESS:
         from repro.harness import experiment
 
@@ -82,12 +89,19 @@ def __getattr__(name: str):
         from repro.core import featurizer
 
         return getattr(featurizer, name)
+    if name in _LAZY_CROWD:
+        import repro.crowd as crowd
+
+        return getattr(crowd, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list:
     """Include the lazy names in ``dir(repro)``."""
-    return sorted(set(globals()) | set(_LAZY_HARNESS) | set(_LAZY_CORE))
+    return sorted(
+        set(globals()) | set(_LAZY_HARNESS) | set(_LAZY_CORE)
+        | set(_LAZY_CROWD)
+    )
 
 
 def make_platform(

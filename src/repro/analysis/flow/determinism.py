@@ -12,13 +12,24 @@ enumeration order, set iteration order, or the wall clock:
 * **REPRO012 — wall-clock reads outside ``obs/``.**  ``time.time`` and
   friends are legitimate inside the observability layer (whose registry
   takes an injectable clock precisely so tests stay deterministic) and
-  nowhere else in the library.
+  nowhere else in the library.  A deliberate, audited read elsewhere is
+  exempted with a *keyed* annotation naming the exact clock it excuses::
+
+      # repro: wall-clock[time.monotonic] — real-time demo mode only
+      self._origin = time.monotonic()
+
+  The key must match the resolved clock name — an annotation for
+  ``time.monotonic`` never silences a ``time.time`` read that creeps
+  onto the same line — and the annotation holds for the next code line
+  when its comment block sits directly above the read (mirroring the
+  ``# repro: process-local`` convention of REPRO013).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+import re
+from typing import Dict, Iterator, Optional
 
 from repro.analysis.lint.engine import Finding
 from repro.analysis.flow.project import ModuleInfo, Project, call_keyword
@@ -51,6 +62,44 @@ _WALL_CLOCK = {
 
 #: Dotted sub-packages exempt from the wall-clock rule.
 _CLOCK_EXEMPT_PACKAGES = ("obs",)
+
+#: Keyed wall-clock exemption: names the one clock it excuses and must
+#: carry a justification after the dash.
+_WALL_CLOCK_EXEMPT_RE = re.compile(
+    r"#\s*repro:\s*wall-clock\[([^\]]+)\]\s*[-—–]+\s*\S", re.IGNORECASE
+)
+
+
+def _wall_clock_exemptions(module: ModuleInfo) -> Dict[int, str]:
+    """Line number -> exempted clock key, from the module's annotations."""
+    return {
+        lineno: match.group(1).strip()
+        for lineno, text in enumerate(module.source.splitlines(), 1)
+        if (match := _WALL_CLOCK_EXEMPT_RE.search(text)) is not None
+    }
+
+
+def _clock_exempted(module: ModuleInfo, exemptions: Dict[int, str],
+                    lineno: int, resolved: str) -> bool:
+    """Whether the read at ``lineno`` carries a matching keyed exemption.
+
+    The annotation counts on the read's own line, or on the comment
+    block sitting directly above it (scanning up through comment-only
+    lines, so a long justification can wrap).  The key must equal the
+    resolved clock name exactly.
+    """
+    lines = module.source.splitlines()
+    line = lineno
+    while line >= 1:
+        key = exemptions.get(line)
+        if key is not None:
+            return key == resolved
+        if line != lineno:
+            text = lines[line - 1].strip()
+            if not text.startswith("#"):
+                return False
+        line -= 1
+    return False
 
 
 def _finding(rule_id: str, module: ModuleInfo, node: ast.AST,
@@ -181,6 +230,7 @@ def _check_set_iteration(module: ModuleInfo) -> Iterator[Finding]:
 def _check_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
     if module.in_subpackage(*_CLOCK_EXEMPT_PACKAGES):
         return
+    exemptions = _wall_clock_exemptions(module)
     for node in ast.walk(module.tree):
         resolved: Optional[str] = None
         if isinstance(node, ast.Call):
@@ -193,11 +243,15 @@ def _check_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
                 continue  # the enclosing node is the one to judge
             resolved = module.resolve(node)
         if resolved in _WALL_CLOCK:
+            lineno = getattr(node, "lineno", 1)
+            if _clock_exempted(module, exemptions, lineno, resolved):
+                continue
             yield _finding(
                 "REPRO012", module, node,
                 f"wall-clock read '{resolved}' outside repro.obs breaks "
                 f"run reproducibility; inject a clock or move the timing "
-                f"into the observability layer",
+                f"into the observability layer, or annotate a deliberate "
+                f"read with '# repro: wall-clock[{resolved}] — <why>'",
             )
 
 

@@ -24,7 +24,10 @@ The propagation is deliberately modest and sound-by-silence:
   preserve the element structure numpy sees when the value is consumed
   as an array again, and storing under a *constant* subscript key
   (``cache["w"] = x.T`` ... ``f(cache["w"])``) is tracked like a named
-  binding — rebinding the container wholesale forgets its entries;
+  binding — as is building the container in one literal
+  (``cache = {"w": x.T}``, ``pair = [x, y.T]``), whose constant-keyed
+  entries land in the same slots; rebinding the container wholesale
+  forgets its entries;
 * anything else forgets them.
 
 A mismatch is only reported when *both* sides are known and definitely
@@ -176,6 +179,43 @@ def _forget_container_entries(env: Dict[str, Dims], name: str) -> None:
         del env[key]
 
 
+def _container_literal_entries(
+    module: ModuleInfo, specs: Dict[str, List[ShapeSpec]],
+    env: Dict[str, Dims], name: str, value: ast.expr,
+) -> Optional[Dict[str, Dims]]:
+    """Tracked slots for ``name = {literal}`` / ``name = [literal]``.
+
+    A dict literal with constant string/int keys and a list/tuple literal
+    both store their elements under the same constant-subscript keys a
+    later ``name["w"]`` / ``name[0]`` read resolves through, so dims flow
+    through literal construction exactly as through per-slot assignment.
+    Returns ``None`` when ``value`` is not a trackable container literal;
+    entries whose dims are unknown are simply absent (sound-by-silence).
+    """
+    entries: Dict[str, Dims] = {}
+    if isinstance(value, ast.Dict):
+        for key, elt in zip(value.keys, value.values):
+            if key is None:  # ``**spread`` — contents unknown
+                continue
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, (str, int))
+                    and not isinstance(key.value, bool)):
+                continue
+            dims = _expr_dims(module, specs, env, elt)
+            if dims is not None:
+                entries[f"{name}[{key.value!r}]"] = dims
+        return entries
+    if isinstance(value, (ast.List, ast.Tuple)):
+        for index, elt in enumerate(value.elts):
+            if isinstance(elt, ast.Starred):
+                return entries  # later indices shift by an unknown amount
+            dims = _expr_dims(module, specs, env, elt)
+            if dims is not None:
+                entries[f"{name}[{index!r}]"] = dims
+        return entries
+    return None
+
+
 def _is_scalar_expr(node: ast.expr) -> bool:
     """A literal number (possibly signed): broadcasts without reshaping."""
     if isinstance(node, ast.Constant):
@@ -314,6 +354,13 @@ def _check_function(project: Project, module: ModuleInfo,
             target = node.targets[0]
             if isinstance(target, ast.Name):
                 _forget_container_entries(env, target.id)
+                entries = _container_literal_entries(
+                    module, specs, env, target.id, node.value
+                )
+                if entries is not None:
+                    env.pop(target.id, None)
+                    env.update(entries)
+                    return
                 dims = _expr_dims(module, specs, env, node.value)
                 if dims is not None:
                     env[target.id] = dims
@@ -341,6 +388,13 @@ def _check_function(project: Project, module: ModuleInfo,
             self.generic_visit(node)
             if isinstance(node.target, ast.Name) and node.value is not None:
                 _forget_container_entries(env, node.target.id)
+                entries = _container_literal_entries(
+                    module, specs, env, node.target.id, node.value
+                )
+                if entries is not None:
+                    env.pop(node.target.id, None)
+                    env.update(entries)
+                    return
                 dims = _expr_dims(module, specs, env, node.value)
                 if dims is not None:
                     env[node.target.id] = dims

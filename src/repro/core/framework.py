@@ -17,7 +17,8 @@ so the harness can run them interchangeably on identical platforms.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +36,66 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.utils.topk import top_k_indices
 
 
+@dataclass(frozen=True)
+class CollectRequest:
+    """One batch of answer collection an episode asks its driver to do.
+
+    The stepwise episode protocol (see :meth:`LabellingFramework.episode`)
+    yields these at every point where Algorithm 1 touches the platform.
+    ``assignments`` is what ``platform.ask_batch`` accepts; ``phase`` names
+    the obs phase the driver should attribute the collection to
+    (``budget.<phase>`` counters and ``phase_timer`` blocks), so drivers
+    reproduce the sync path's exact budget attribution.
+    """
+
+    assignments: tuple
+    phase: str = "collect"
+
+
+def drive_episode(
+    episode: Generator,
+    platform: CrowdPlatform,
+) -> LabellingOutcome:
+    """Drive a stepwise episode generator against a synchronous platform.
+
+    This is the reference driver: it answers every
+    :class:`CollectRequest` with a blocking ``platform.ask_batch`` call,
+    wrapped in the same ``phase_timer`` and ``budget.<phase>`` counter
+    updates the monolithic loop used to make inline, so
+    ``framework.run(...)`` built on this driver is bit-identical to the
+    historical implementation.  The async event-loop collector
+    (:mod:`repro.serve.collector`) is the other driver of the same
+    protocol; this one is its oracle.
+
+    Budget attribution matches the historical formulas exactly: the
+    initial sample is charged by spent-delta (wrappers may charge waste
+    for the sample too), iteration collections by
+    ``budget.iteration_cost`` over the ledger slice.
+    """
+    try:
+        request = next(episode)
+    except StopIteration as stop:
+        return stop.value
+    while True:
+        spent_before = platform.budget.spent
+        ledger_start = platform.budget.ledger_length
+        with phase_timer(request.phase):
+            records = platform.ask_batch(request.assignments)
+        if request.phase == "initial_sample":
+            get_registry().inc(
+                "budget.initial_sample", platform.budget.spent - spent_before
+            )
+        else:
+            get_registry().inc(
+                f"budget.{request.phase}",
+                platform.budget.iteration_cost(ledger_start),
+            )
+        try:
+            request = episode.send(records)
+        except StopIteration as stop:
+            return stop.value
+
+
 class LabellingFramework:
     """Interface shared by CrowdRL and every baseline."""
 
@@ -45,6 +106,26 @@ class LabellingFramework:
             platform: CrowdPlatform) -> LabellingOutcome:
         """Label ``dataset`` through ``platform`` within its budget."""
         raise NotImplementedError
+
+    def episode(
+        self, dataset: LabelledDataset, platform: CrowdPlatform
+    ) -> Generator:
+        """The framework's run as a stepwise generator (online-servable).
+
+        Yields a :class:`CollectRequest` wherever the framework would
+        call ``platform.ask_batch`` and receives the collected
+        ``AnswerRecord`` list via ``send``; returns the
+        :class:`LabellingOutcome` as the generator's value.  Frameworks
+        implementing this run unchanged under both the synchronous
+        reference driver (:func:`drive_episode`) and the async serving
+        layer.  Baselines that only implement the monolithic :meth:`run`
+        raise ``NotImplementedError`` here and cannot be served online.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the stepwise episode "
+            f"protocol and cannot be driven by the online serving layer; "
+            f"use .run() with a synchronous platform instead"
+        )
 
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
@@ -132,6 +213,21 @@ class CrowdRL(LabellingFramework):
     def run(self, dataset: LabelledDataset,
             platform: CrowdPlatform) -> LabellingOutcome:
         """Run Algorithm 1: iterate select/ask/infer/enrich within budget."""
+        return drive_episode(self.episode(dataset, platform), platform)
+
+    def episode(
+        self, dataset: LabelledDataset, platform: CrowdPlatform
+    ) -> Generator:
+        """Algorithm 1 as a stepwise generator (see the base docstring).
+
+        Yields a :class:`CollectRequest` for the initial alpha-sample and
+        for every iteration's collection step, receiving the answer
+        records back via ``send``.  All RNG draws, featurization, and
+        learning happen between yields, so any driver that executes the
+        requests in order — blocking or overlapped — produces identical
+        results as long as its platform charges and records answers in
+        request order.
+        """
         config = self.config
         n_objects = platform.n_objects
         if dataset.n_objects != n_objects:
@@ -151,7 +247,7 @@ class CrowdRL(LabellingFramework):
                                    platform, "quarantined_annotators", None))
 
         # ---- Algorithm 1 line 2: initial alpha-sample ----
-        self._initial_sample(platform)
+        yield self._initial_sample_request(platform)
         env.infer_truths()
         state.set_labelled(env.truths.keys(), env.enriched.keys())
 
@@ -200,12 +296,11 @@ class CrowdRL(LabellingFramework):
             # information-gain shaping term.
             entropy_before = obj_feats[:, 5]
             ledger_start = platform.budget.ledger_length
-            with phase_timer("collect"):
-                records = platform.ask_batch(
+            records = yield CollectRequest(
+                assignments=tuple(
                     (a.object_id, list(a.annotator_ids)) for a in assignments
-                )
-            get_registry().inc(
-                "budget.collect", platform.budget.iteration_cost(ledger_start)
+                ),
+                phase="collect",
             )
             if not records:
                 break  # could not afford a single answer
@@ -320,12 +415,16 @@ class CrowdRL(LabellingFramework):
         return out
 
     # ------------------------------------------------------------------
-    def _initial_sample(self, platform: CrowdPlatform) -> None:
-        """Label an alpha fraction of objects up front (Algorithm 1 line 2).
+    def _initial_sample_request(
+        self, platform: CrowdPlatform
+    ) -> CollectRequest:
+        """The alpha-fraction cold-start batch (Algorithm 1 line 2).
 
         Objects are drawn uniformly; each is sent to ``k`` annotators chosen
         by estimated quality per unit cost, the natural cold-start heuristic
-        when the State carries no history yet.
+        when the State carries no history yet.  The driver executes the
+        request under the ``initial_sample`` phase (timer + spent-delta
+        budget counter).
         """
         config = self.config
         n_objects = platform.n_objects
@@ -337,11 +436,7 @@ class CrowdRL(LabellingFramework):
         value = qualities / costs
         k = min(config.k_per_object, len(platform.pool))
         preferred = top_k_indices(value, k)
-        spent_before = platform.budget.spent
-        with phase_timer("initial_sample"):
-            platform.ask_batch(
-                (int(i), list(preferred)) for i in chosen
-            )
-        get_registry().inc(
-            "budget.initial_sample", platform.budget.spent - spent_before
+        return CollectRequest(
+            assignments=tuple((int(i), list(preferred)) for i in chosen),
+            phase="initial_sample",
         )

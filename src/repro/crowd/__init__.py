@@ -11,12 +11,19 @@ the first block of the RL State.
 """
 
 from repro.crowd.annotator import Annotator, AnnotatorKind
+from repro.crowd.compose import wrap
 from repro.crowd.confusion import ConfusionMatrix
 from repro.crowd.cost import BudgetManager, CostModel
-from repro.crowd.faults import FaultKind, FaultModel, UnreliablePlatform
+from repro.crowd.faults import (
+    FaultKind,
+    FaultModel,
+    PlatformWrapper,
+    UnreliablePlatform,
+)
 from repro.crowd.history import UNANSWERED, LabellingHistory
 from repro.crowd.platform import AnswerRecord, CrowdPlatform
 from repro.crowd.pool import AnnotatorPool
+from repro.crowd.protocol import Platform, check_platform
 from repro.crowd.resilient import (
     CollectorStats,
     ResiliencePolicy,
@@ -36,8 +43,12 @@ __all__ = [
     "AnswerRecord",
     "FaultKind",
     "FaultModel",
+    "Platform",
+    "PlatformWrapper",
     "UnreliablePlatform",
     "ResiliencePolicy",
     "ResilientCollector",
     "CollectorStats",
+    "check_platform",
+    "wrap",
 ]

@@ -7,11 +7,16 @@ Usage::
     python -m repro.harness.cli fig5 --parallel 4 --journal sweep/ --resume
     python -m repro.harness.cli fig8 --scale 0.1
     python -m repro.harness.cli run --framework CrowdRL --dataset S12CP
+    python -m repro.harness.cli run --framework CrowdRL --dataset S12CP --serve
+    python -m repro.harness.cli serve --projects 8 --max-active 3
     python -m repro.harness.cli lint src
 
 The figure subcommands print the same rows/series the paper plots (see
 :mod:`repro.harness.figures`); ``run`` executes a single framework on a
-single dataset and prints its metric report; ``lint`` forwards its
+single dataset and prints its metric report (``--serve`` routes it
+through the online serving layer, bit-identical to the sync path);
+``serve`` drives many concurrent projects on one shared annotator pool
+through :class:`repro.serve.ServeEngine`; ``lint`` forwards its
 arguments to :mod:`repro.analysis` so the reproducibility linter is
 reachable from the harness entry point.
 """
@@ -129,7 +134,99 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the metrics JSONL event log to PATH (implies "
              "--metrics); render with `python -m repro.obs report PATH`")
+    run_parser.add_argument(
+        "--serve", action="store_true",
+        help="execute through the online serving layer (async answers on "
+             "a virtual event clock; bit-identical to the sync path)")
+    run_parser.add_argument(
+        "--latency", type=float, default=None, metavar="SECONDS",
+        help="mean worker service time in virtual seconds (experts take "
+             "3x); implies --serve")
+
+    serve_parser = sub.add_parser(
+        "serve", help="drive many concurrent labelling projects on one "
+                      "shared annotator pool (the multi-tenant service)")
+    serve_parser.add_argument("--projects", type=int, default=8,
+                              help="number of concurrent labelling projects "
+                                   "(default 8)")
+    serve_parser.add_argument("--dataset", default="S12CP",
+                              help="paper dataset name each project draws "
+                                   "(per-project seeds differ)")
+    serve_parser.add_argument("--scale", type=float, default=0.05)
+    serve_parser.add_argument("--budget", type=float, default=None,
+                              help="per-project budget (default: the "
+                                   "paper budget for the dataset/scale)")
+    serve_parser.add_argument("--workers", type=int, default=3)
+    serve_parser.add_argument("--experts", type=int, default=2)
+    serve_parser.add_argument("--max-active", type=int, default=None,
+                              metavar="N",
+                              help="admission cap: at most N sessions "
+                                   "active at once (default: no cap)")
+    serve_parser.add_argument("--latency", type=float, default=1.0,
+                              metavar="SECONDS",
+                              help="mean worker service time in virtual "
+                                   "seconds (experts take 3x; default 1.0)")
+    serve_parser.add_argument("--faults", type=float, default=None,
+                              metavar="RATE",
+                              help="inject annotator faults at this rate "
+                                   "in every project (implies resilient "
+                                   "collection)")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--metrics-dir", default=None, metavar="DIR",
+                              help="stream per-session metrics JSONL files "
+                                   "to DIR (one file per project; render "
+                                   "with `python -m repro.obs report`)")
     return parser
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Execute the ``serve`` subcommand: N concurrent projects, one pool."""
+    from repro.crowd.pool import AnnotatorPool
+    from repro.datasets import load_dataset
+    from repro.harness.experiment import make_framework, paper_budget
+    from repro.serve import LatencyModel, ServeEngine
+
+    if args.projects <= 0:
+        print("--projects must be > 0", file=sys.stderr)
+        return 2
+    datasets = [
+        load_dataset(args.dataset, scale=args.scale, rng=args.seed + 100 + i)
+        for i in range(args.projects)
+    ]
+    pool = AnnotatorPool.build(
+        datasets[0].n_classes, args.workers, args.experts, rng=args.seed
+    )
+    latency = LatencyModel.for_pool(
+        pool, worker_latency=args.latency, rng=args.seed + 5000
+    )
+    engine = ServeEngine(
+        pool,
+        latency=latency,
+        max_active=args.max_active,
+        metrics_dir=args.metrics_dir,
+    )
+    budget = (args.budget if args.budget is not None
+              else paper_budget(args.dataset, args.scale))
+    setting = ExperimentSetting(
+        dataset_name=args.dataset,
+        scale=args.scale,
+        n_workers=args.workers,
+        n_experts=args.experts,
+        seed=args.seed,
+    )
+    for i, dataset in enumerate(datasets):
+        framework = make_framework(
+            "CrowdRL", setting, rng=args.seed + 200 + i
+        )
+        engine.add_project(
+            f"project-{i}", dataset, framework,
+            budget=budget, faults=args.faults, seed=args.seed + i,
+        )
+    report = engine.run()
+    print(report.render())
+    if args.metrics_dir is not None:
+        print(f"metrics   : per-session event logs under {args.metrics_dir}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -143,6 +240,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if forwarded[0] not in ("lint", "flow", "contracts-report"):
             forwarded = ["lint", *forwarded]
         return analysis_main(forwarded)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command in _FIGURES:
         try:
@@ -185,6 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resume=args.resume,
         metrics=True if (args.metrics or args.metrics_out) else None,
         metrics_out=args.metrics_out,
+        serve=args.serve,
+        latency=args.latency,
     )
     result = run_experiment(args.framework, setting, spec)
     report = result.report
@@ -202,6 +304,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{collector['reassignments']} reassignments, "
               f"{collector['gave_up']} given up, "
               f"quarantined={quarantined}")
+    served = result.outcome.extras.get("serve")
+    if served is not None:
+        print(f"serving   : virtual makespan {served['makespan']:.2f}s, "
+              f"{served['completed']} answers, "
+              f"lease wait {served['lease_wait_s']:.2f}s")
     print(f"precision={report.precision:.3f} recall={report.recall:.3f} "
           f"f1={report.f1:.3f} accuracy={report.accuracy:.3f}")
     if result.metrics is not None:

@@ -9,7 +9,7 @@ framework differs, so metric gaps are attributable to the framework.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,8 +18,9 @@ from repro.baselines import DALC, DLTA, IDLE, OBA, Hybrid, make_m1, make_m2, mak
 from repro.core.config import CrowdRLConfig
 from repro.core.framework import CrowdRL, LabellingFramework
 from repro.core.result import LabellingOutcome
+from repro.crowd.compose import wrap
 from repro.crowd.cost import CostModel
-from repro.crowd.faults import FaultModel, UnreliablePlatform
+from repro.crowd.faults import FaultModel
 from repro.crowd.resilient import ResiliencePolicy, ResilientCollector
 from repro.datasets.base import LabelledDataset
 from repro.datasets.registry import load_dataset
@@ -40,6 +41,9 @@ from repro.obs import (
     use_registry,
 )
 from repro.utils.rng import as_rng
+
+if TYPE_CHECKING:  # annotation-only; the serve layer is imported lazily
+    from repro.serve.latency import LatencyModel
 
 #: Every runnable framework, in the paper's reporting order.
 FRAMEWORK_NAMES = ("DLTA", "OBA", "IDLE", "DALC", "Hybrid", "CrowdRL")
@@ -123,6 +127,16 @@ class ExperimentSpec:
         Write the run's JSONL event log (phase events + final snapshot)
         here; implies metrics collection.  Render it with
         ``python -m repro.obs report``.
+    serve / latency:
+        ``serve=True`` executes the episode through the online serving
+        layer (:mod:`repro.serve`): answers complete after seeded
+        per-annotator latency on a virtual event clock, overlapped by the
+        event-loop collector.  Under the virtual clock the outcome is
+        bit-identical to the sync path — the sync run is the oracle.
+        ``latency`` is a mean service time in virtual seconds or a full
+        :class:`~repro.serve.latency.LatencyModel`; setting it implies
+        ``serve=True``.  Serving is incompatible with checkpointing
+        (per-answer submission changes the journal granularity).
     """
 
     faults: Union[None, float, FaultModel] = None
@@ -133,6 +147,8 @@ class ExperimentSpec:
     platform_hook: Optional[Callable] = None
     metrics: Union[None, bool, MetricsRegistry] = None
     metrics_out: Optional[str] = None
+    serve: bool = False
+    latency: Union[None, float, "LatencyModel"] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every <= 0:
@@ -141,6 +157,14 @@ class ExperimentSpec:
             )
         if self.resume and self.checkpoint_path is None:
             raise ConfigurationError("resume=True requires checkpoint_path")
+        if self.latency is not None:
+            self.serve = True
+        if self.serve and self.checkpoint_path is not None:
+            raise ConfigurationError(
+                "serve=True is incompatible with checkpointing: the async "
+                "platform submits answers one pair at a time, which changes "
+                "the journal's batch granularity"
+            )
 
 
 @dataclass
@@ -208,48 +232,45 @@ def clear_pretrained_policies() -> None:
 _OFFLINE_TRAIN_SEED = 424_242
 
 
-def _cross_train(framework: CrowdRL, setting: ExperimentSetting) -> None:
+def _cross_train(config: CrowdRLConfig, setting: ExperimentSetting):
     """The paper's offline cross-training (Section VI-A4).
 
     Before the online evaluation the RL policy is trained on *different*
     data — here generic synthetic labelling tasks of comparable shape — so
     the Q-network starts from an informed policy instead of from scratch.
-    The trained policy is cached per pool shape and reused, as the paper's
-    one-off offline training is.  The episodes run with the framework's
-    online stream swapped out for an offline one seeded by
-    :data:`_OFFLINE_TRAIN_SEED`, so the cached weights depend only on the
-    pool shape and the online stream is untouched either way.
+    Returns the trained policy weights (the caller installs them on its
+    framework), cached per pool shape and reused, as the paper's one-off
+    offline training is.  The episodes run on a scratch framework whose
+    stream is seeded by :data:`_OFFLINE_TRAIN_SEED`, so the cached
+    weights depend only on the pool shape and the evaluation framework's
+    online stream is untouched either way.
     """
     from repro.datasets.synthetic import make_blobs  # local: avoids cycle
 
     key = (setting.n_workers, setting.n_experts)
     if key in _PRETRAINED_POLICIES:
-        framework._pretrained_weights = _PRETRAINED_POLICIES[key]
-        return
+        return _PRETRAINED_POLICIES[key]
 
     rng = as_rng(9999)
-    online_rng = framework._rng
-    framework._rng = as_rng(_OFFLINE_TRAIN_SEED)
-    try:
-        # One hard and one easy task, so the policy sees both regimes
-        # (experts pay off on hard objects, workers suffice on easy ones).
-        for episode, separation in enumerate((1.5, 2.5)):
-            train_set = make_blobs(
-                80, 16, separation=separation,
-                name=f"pretrain{episode}", rng=rng,
-            )
-            platform = make_platform(
-                train_set,
-                n_workers=setting.n_workers,
-                n_experts=setting.n_experts,
-                budget=350.0,
-                cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
-                rng=10_000 + episode,
-            )
-            framework.pretrain(train_set, platform)
-    finally:
-        framework._rng = online_rng
-    _PRETRAINED_POLICIES[key] = framework._pretrained_weights
+    scratch = CrowdRL(config, rng=as_rng(_OFFLINE_TRAIN_SEED))
+    # One hard and one easy task, so the policy sees both regimes
+    # (experts pay off on hard objects, workers suffice on easy ones).
+    for episode, separation in enumerate((1.5, 2.5)):
+        train_set = make_blobs(
+            80, 16, separation=separation,
+            name=f"pretrain{episode}", rng=rng,
+        )
+        platform = make_platform(
+            train_set,
+            n_workers=setting.n_workers,
+            n_experts=setting.n_experts,
+            budget=350.0,
+            cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
+            rng=10_000 + episode,
+        )
+        scratch.pretrain(train_set, platform)
+    _PRETRAINED_POLICIES[key] = scratch._pretrained_weights
+    return scratch._pretrained_weights
 
 
 def _resolve_metrics(spec: ExperimentSpec):
@@ -362,31 +383,17 @@ def _run_experiment(
         cost_model=CostModel(worker_cost=1.0, expert_cost=10.0),
         rng=setting.seed + 1000,
     )
-    platform = base_platform
-    fault_model: Optional[FaultModel] = None
-    if spec.faults is not None:
-        fault_model = (
-            spec.faults if isinstance(spec.faults, FaultModel)
-            else FaultModel.from_rate(
-                len(base_platform.pool), float(spec.faults),
-                rng=setting.seed + 3000,
-            )
-        )
-        platform = UnreliablePlatform(platform, fault_model)
-    collector: Optional[ResilientCollector] = None
-    use_collector = (
-        spec.resilient if isinstance(spec.resilient, bool)
-        else spec.resilient is not None or fault_model is not None
+    platform = wrap(
+        base_platform,
+        faults=spec.faults,
+        resilient=spec.resilient,
+        fault_seed=setting.seed + 3000,
+        resilience_seed=setting.seed + 4000,
     )
-    if use_collector:
-        policy = (
-            spec.resilient if isinstance(spec.resilient, ResiliencePolicy)
-            else None
-        )
-        collector = ResilientCollector(
-            platform, policy=policy, rng=setting.seed + 4000
-        )
-        platform = collector
+    collector: Optional[ResilientCollector] = (
+        platform if isinstance(platform, ResilientCollector) else None
+    )
+    fault_model: Optional[FaultModel] = getattr(platform, "fault_model", None)
     framework_rng = as_rng(setting.seed + 2000)
     framework = make_framework(framework_name, setting, framework_rng)
     if spec.checkpoint_path is not None:
@@ -407,7 +414,7 @@ def _run_experiment(
     if spec.platform_hook is not None:
         platform = spec.platform_hook(platform)
     if pretrain and framework_name in _RL_FRAMEWORKS:
-        _cross_train(framework, setting)
+        framework._pretrained_weights = _cross_train(framework.config, setting)
     # Offline cross-training episodes run on their *own* platforms but
     # attribute their spend to the same budget.* counters; record that
     # share so reports can separate it from the evaluation run's books.
@@ -417,7 +424,10 @@ def _run_experiment(
         registry.counter_value("budget.collect")
         + registry.counter_value("budget.initial_sample"),
     )
-    outcome = framework.run(dataset, platform)
+    if spec.serve:
+        outcome = _run_served(framework, dataset, platform, setting, spec)
+    else:
+        outcome = framework.run(dataset, platform)
     if collector is not None:
         outcome.extras["collector"] = collector.stats.as_dict()
         outcome.extras["quarantined"] = sorted(
@@ -427,6 +437,51 @@ def _run_experiment(
         platform.evaluation_labels(), n_classes=dataset.n_classes
     )
     return RunResult(framework_name, setting, outcome, report)
+
+
+def _run_served(
+    framework: LabellingFramework,
+    dataset: LabelledDataset,
+    platform,
+    setting: ExperimentSetting,
+    spec: ExperimentSpec,
+) -> LabellingOutcome:
+    """Execute one run through the online serving layer.
+
+    Wraps the (already composed) platform chain in an
+    :class:`~repro.serve.platform.AsyncPlatform` on a fresh virtual clock
+    and drives the framework's episode with the event-loop collector.
+    Under the virtual clock this is bit-identical to ``framework.run``;
+    the virtual makespan and overlap counters land in
+    ``outcome.extras["serve"]``.
+    """
+    from repro.serve import (
+        AnnotatorLeases,
+        AsyncPlatform,
+        LatencyModel,
+        VirtualClock,
+        run_episode_async,
+    )
+
+    latency = spec.latency
+    if not isinstance(latency, LatencyModel):
+        latency = LatencyModel.for_pool(
+            platform.pool,
+            worker_latency=float(latency) if latency is not None else 1.0,
+            rng=setting.seed + 5000,
+        )
+    clock = VirtualClock()
+    leases = AnnotatorLeases(len(platform.pool))
+    async_platform = AsyncPlatform(
+        platform, latency=latency, clock=clock, leases=leases
+    )
+    outcome = run_episode_async(framework, dataset, async_platform)
+    outcome.extras["serve"] = {
+        "makespan": clock.now,
+        "completed": async_platform.completed,
+        "lease_wait_s": leases.total_wait,
+    }
+    return outcome
 
 
 def comparison_shard(payload: dict, ctx: "ShardContext") -> dict:

@@ -1,0 +1,142 @@
+"""One tenant of the multi-tenant labelling service.
+
+A :class:`LabellingSession` owns everything project-private — dataset,
+budget, history, episode state, metrics registry, JSONL event stream —
+while sharing the annotator pool, event clock, latency model, and leases
+with every other session on the engine.  All of the session's metric
+traffic (platform counters, phase timers, budget attribution) lands in
+its *own* registry: the engine enters ``use_registry(session.registry)``
+around every advancement, so per-session budget attribution reconciles
+exactly in ``repro.obs report`` even though eight projects interleave on
+one clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.result import LabellingOutcome
+from repro.exceptions import ConfigurationError
+from repro.metrics.classification import ClassificationReport
+from repro.obs import JsonlEventLog, MetricsRegistry, make_registry, use_registry
+from repro.serve.collector import EventLoopCollector
+from repro.serve.platform import AsyncPlatform, PendingAnswer
+
+#: Session lifecycle states, in order.
+QUEUED, ACTIVE, DONE = "queued", "active", "done"
+
+
+@dataclass
+class SessionResult:
+    """A finished session's outcome, score, and metrics snapshot."""
+
+    name: str
+    outcome: LabellingOutcome
+    report: ClassificationReport
+    metrics: dict = field(default_factory=dict)
+    #: Virtual time at which the session's episode completed.
+    finished_at: float = 0.0
+
+
+class LabellingSession:
+    """One labelling project on the shared event loop."""
+
+    def __init__(
+        self,
+        name: str,
+        dataset,
+        framework,
+        platform: AsyncPlatform,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        events: Optional[JsonlEventLog] = None,
+    ) -> None:
+        if platform.session != name:
+            raise ConfigurationError(
+                f"platform is tagged for session {platform.session!r}, "
+                f"not {name!r}"
+            )
+        self.name = name
+        self.dataset = dataset
+        self.framework = framework
+        self.platform = platform
+        self.registry = registry if registry is not None else make_registry(
+            events=events
+        )
+        self.events = events if events is not None else self.registry.events
+        self.collector = EventLoopCollector(framework, dataset, platform)
+        self.state = QUEUED
+        self.result: Optional[SessionResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Admit the session: run its episode to the first in-flight batch."""
+        if self.state != QUEUED:
+            raise ConfigurationError(
+                f"session {self.name!r} cannot start from state {self.state!r}"
+            )
+        self.state = ACTIVE
+        with use_registry(self.registry):
+            if self.events is not None:
+                self.events.emit(
+                    "run_start",
+                    framework=getattr(self.framework, "name", "framework"),
+                    session=self.name,
+                    admitted_at=self.platform.clock.now,
+                )
+            self.collector.start()
+            if self.collector.done:
+                self._finish()
+
+    def deliver(self, pending: PendingAnswer) -> None:
+        """Event-loop callback: one of this session's answers landed."""
+        if self.state != ACTIVE:
+            raise ConfigurationError(
+                f"session {self.name!r} received an answer in state "
+                f"{self.state!r}"
+            )
+        with use_registry(self.registry):
+            self.platform.mark_delivered(pending)
+            self.collector.on_complete(pending)
+            if self.collector.done:
+                self._finish()
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        """Score the finished episode and flush the session's metrics."""
+        outcome = self.collector.result
+        report = outcome.evaluate(
+            self.platform.evaluation_labels(),
+            n_classes=self.dataset.n_classes,
+        )
+        finished_at = self.platform.clock.now
+        registry = self.registry
+        registry.set_gauge("budget.total", outcome.budget)
+        registry.set_gauge("budget.spent", outcome.spent)
+        registry.set_gauge("iterations", outcome.iterations)
+        registry.set_gauge("serve.finished_at", finished_at)
+        snapshot = registry.snapshot()
+        if self.events is not None:
+            self.events.emit(
+                "run_end",
+                session=self.name,
+                spent=outcome.spent,
+                iterations=outcome.iterations,
+                accuracy=report.accuracy,
+                finished_at=finished_at,
+            )
+            self.events.emit("snapshot", metrics=snapshot)
+            self.events.close()
+        self.state = DONE
+        self.result = SessionResult(
+            name=self.name,
+            outcome=outcome,
+            report=report,
+            metrics=snapshot,
+            finished_at=finished_at,
+        )

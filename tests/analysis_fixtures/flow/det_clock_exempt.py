@@ -1,0 +1,41 @@
+"""REPRO012 fixture: the keyed ``# repro: wall-clock[<key>]`` exemption.
+
+Three hits: an annotation keyed for a *different* clock than the one
+read, an annotation with no justification after the dash, and an
+annotation separated from its read by a blank line.  The clean forms —
+a same-line keyed annotation and a comment block directly above the
+read — stay silent.
+"""
+
+import time
+
+
+def clean_same_line():
+    """A matching keyed annotation on the read's line itself (silent)."""
+    return time.monotonic()  # repro: wall-clock[time.monotonic] — demo only
+
+
+def clean_block_above():
+    """A matching annotation in the comment block above (silent)."""
+    # repro: wall-clock[time.perf_counter] — deliberate: this fixture
+    # models a justification long enough to wrap across comment lines.
+    return time.perf_counter()
+
+
+def hit_wrong_key():
+    """An exemption never silences a clock it does not name (flagged)."""
+    # repro: wall-clock[time.monotonic] — keyed for a different read
+    return time.time()
+
+
+def hit_missing_why():
+    """An annotation without a justification does not exempt (flagged)."""
+    # repro: wall-clock[time.time]
+    return time.time()
+
+
+def hit_detached_comment():
+    """A blank line detaches the annotation from the read (flagged)."""
+    # repro: wall-clock[time.monotonic] — not directly above the read
+
+    return time.monotonic()

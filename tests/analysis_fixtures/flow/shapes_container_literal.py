@@ -1,0 +1,67 @@
+"""REPRO010 fixture: dims must survive container *literal* construction.
+
+Three hits: a transposed matrix stored through a dict literal, a list
+literal, and a tuple literal, each fetched back through the matching
+constant subscript.  The clean forms — the declared orientation in a
+literal, a starred literal (indices shift), a rebound literal, and a
+non-constant key — stay silent.
+"""
+
+import numpy as np
+
+from repro.analysis.contracts import shaped
+
+
+@shaped(result="(n_objects, n_workers)")
+def build_answers(n_objects, n_workers):
+    """Produce the answer matrix in the paper's |O| x |W| orientation."""
+    return np.zeros((n_objects, n_workers))
+
+
+@shaped(answers="(n_objects, n_workers)")
+def per_worker_totals(answers):
+    """Consume the answer matrix in declared orientation."""
+    return answers.sum(axis=0)
+
+
+def hit_dict_literal():
+    """A dict literal's constant-key slot is a named binding."""
+    cache = {"answers": build_answers(4, 3).T}
+    return per_worker_totals(cache["answers"])
+
+
+def hit_list_literal():
+    """A list literal's index slot is a named binding."""
+    stash = [build_answers(4, 3).T]
+    return per_worker_totals(stash[0])
+
+
+def hit_tuple_literal():
+    """A tuple literal's index slot is a named binding."""
+    pair = (build_answers(4, 3), build_answers(4, 3).T)
+    return per_worker_totals(pair[1])
+
+
+def clean_dict_literal():
+    """The declared orientation stored through a literal stays silent."""
+    cache = {"answers": build_answers(4, 3)}
+    return per_worker_totals(cache["answers"])
+
+
+def clean_starred_literal(extra):
+    """Elements after a star shift by an unknown amount: untracked."""
+    stash = [*extra, build_answers(4, 3).T]
+    return per_worker_totals(stash[1])
+
+
+def clean_rebound_literal():
+    """Rebinding the container forgets the literal's tracked slots."""
+    cache = {"answers": build_answers(4, 3).T}
+    cache = {}
+    return per_worker_totals(cache["answers"])
+
+
+def clean_dynamic_key_literal(key):
+    """A non-constant literal key is never tracked."""
+    cache = {key: build_answers(4, 3).T}
+    return per_worker_totals(cache[key])

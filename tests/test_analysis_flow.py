@@ -35,8 +35,10 @@ def rule_ids(findings):
         ("rng_shared.py", "REPRO009", 1),
         ("shapes_transposed.py", "REPRO010", 2),
         ("shapes_container.py", "REPRO010", 3),
+        ("shapes_container_literal.py", "REPRO010", 3),
         ("det_order.py", "REPRO011", 3),
         ("det_clock.py", "REPRO012", 3),
+        ("det_clock_exempt.py", "REPRO012", 3),
     ],
 )
 def test_rule_fires_only_on_hits(fixture, rule_id, n_hits):
@@ -74,6 +76,46 @@ def test_container_round_trips_keep_dims_alive():
         preceding = [line for line in source[:finding.line]
                      if line.startswith("def ")]
         assert preceding[-1].startswith("def hit_"), preceding[-1]
+
+
+def test_container_literals_keep_dims_alive():
+    """Dict/list/tuple *literal* storage is tracked like per-slot writes."""
+    findings = analyze_paths(
+        [str(FIXTURES / "shapes_container_literal.py")], select=["REPRO010"]
+    )
+    assert len(findings) == 3
+    assert all("transposed" in f.message for f in findings)
+    source = (
+        FIXTURES / "shapes_container_literal.py"
+    ).read_text().splitlines()
+    for finding in findings:
+        preceding = [line for line in source[:finding.line]
+                     if line.startswith("def ")]
+        assert preceding[-1].startswith("def hit_"), preceding[-1]
+
+
+def test_keyed_wall_clock_exemption():
+    """``# repro: wall-clock[<key>]`` exempts exactly the named clock."""
+    findings = analyze_paths([str(FIXTURES / "det_clock_exempt.py")],
+                             select=["REPRO012"])
+    assert len(findings) == 3
+    source = (FIXTURES / "det_clock_exempt.py").read_text().splitlines()
+    for finding in findings:
+        preceding = [line for line in source[:finding.line]
+                     if line.startswith("def ")]
+        assert preceding[-1].startswith("def hit_"), preceding[-1]
+    # The finding's guidance names the keyed escape hatch.
+    assert all("wall-clock[" in f.message for f in findings)
+
+
+def test_wall_clock_exemption_key_must_match():
+    """An annotation keyed for one clock never silences another (tmp)."""
+    findings = analyze_paths([str(FIXTURES / "det_clock_exempt.py")],
+                             select=["REPRO012"])
+    flagged = {f.message.split("'")[1] for f in findings}
+    # hit_wrong_key/hit_missing_why read time.time, hit_detached_comment
+    # reads time.monotonic — both clocks fire despite nearby annotations.
+    assert flagged == {"time.time", "time.monotonic"}
 
 
 def test_shared_stream_dispatch_forms_are_exclusive():

@@ -125,6 +125,49 @@ class TestKillResume:
         assert resumed.outcome.extras["collector"] == \
             baseline.outcome.extras["collector"]
 
+    def test_breaker_state_survives_kill_resume(self, tmp_path):
+        """A circuit breaker opened before the kill stays open after resume.
+
+        Annotator 0 abandons nearly every request, so the resilient
+        collector quarantines it early in the run.  The kill lands after
+        the quarantine decision; the resumed run must carry the open
+        breaker (and its attempt/failure counters) across the journal
+        replay rather than re-learning the annotator from scratch.
+        """
+        path = tmp_path / "breaker.ckpt"
+
+        def faulty_model():
+            # Fresh model per run: fault draws are stateful streams.
+            return FaultModel(
+                5, abandon=[0.9, 0.0, 0.0, 0.0, 0.0], rng=CHAOS_SEED
+            )
+
+        baseline = run_experiment(
+            "DLTA", setting(seed=CHAOS_SEED + 13),
+            ExperimentSpec(faults=faulty_model()), pretrain=False,
+        )
+        assert baseline.outcome.extras["quarantined"] == [0]
+        with pytest.raises(KillSwitch):
+            run_experiment(
+                "DLTA", setting(seed=CHAOS_SEED + 13), ExperimentSpec(
+                    faults=faulty_model(), checkpoint_path=path,
+                    checkpoint_every=10,
+                    platform_hook=lambda p: KillAfter(p, 40),
+                ), pretrain=False,
+            )
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.collector_state is not None
+        resumed = run_experiment(
+            "DLTA", setting(seed=CHAOS_SEED + 13), ExperimentSpec(
+                faults=faulty_model(), checkpoint_path=path,
+                checkpoint_every=10, resume=True,
+            ), pretrain=False,
+        )
+        assert_same_run(resumed, baseline)
+        assert resumed.outcome.extras["quarantined"] == [0]
+        assert resumed.outcome.extras["collector"] == \
+            baseline.outcome.extras["collector"]
+
     def test_completed_run_resumes_from_full_journal(self, tmp_path):
         """Resuming a finished run replays the whole journal, same result."""
         path = tmp_path / "done.ckpt"

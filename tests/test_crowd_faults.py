@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.crowd.compose import wrap
 from repro.crowd.cost import BudgetManager
 from repro.crowd.faults import (
     FAULT_KINDS,
@@ -26,7 +27,7 @@ def make_unreliable(fault_model=None, budget=500.0, seed=7, **fault_kwargs):
     pool = build_pool(seed=seed)
     platform = CrowdPlatform(dataset.labels, pool, BudgetManager(budget))
     model = fault_model or FaultModel(len(pool), **fault_kwargs)
-    return UnreliablePlatform(platform, model), platform
+    return wrap(platform, faults=model, resilient=False), platform
 
 
 class TestFaultModelValidation:
@@ -108,7 +109,12 @@ class TestUnreliablePlatform:
     def test_pool_size_mismatch_rejected(self):
         unreliable, platform = make_unreliable()
         with pytest.raises(ConfigurationError):
-            UnreliablePlatform(platform, FaultModel(99))
+            wrap(platform, faults=FaultModel(99))
+
+    def test_direct_construction_warns_deprecation(self):
+        _, platform = make_unreliable()
+        with pytest.warns(DeprecationWarning, match="repro.crowd.wrap"):
+            UnreliablePlatform(platform, FaultModel(len(platform.pool)))
 
     def test_timeout_raises_and_charges_partial_cost(self):
         unreliable, platform = make_unreliable(
@@ -149,6 +155,26 @@ class TestUnreliablePlatform:
         unreliable, _ = make_unreliable(timeout=1.0)
         with pytest.raises(AnswerTimeoutError):
             unreliable.ask_batch([(0, [0, 1])])
+
+    def test_ask_batch_mixed_fault_outcomes(self):
+        # One batch, three outcomes: annotator 1 corrupts silently (the
+        # record lands), annotator 3 answers honestly, annotator 0 times
+        # out and aborts the batch — records collected so far stay on the
+        # platform's books.
+        unreliable, platform = make_unreliable(
+            timeout=[1.0, 0.0, 0.0, 0.0],
+            corrupt=[0.0, 1.0, 0.0, 0.0],
+            offline=[0.0, 0.0, 1.0, 0.0],
+        )
+        with pytest.raises(AnswerTimeoutError):
+            unreliable.ask_batch([(0, [1, 3, 0, 2])])
+        assert platform.history.has_answered(0, 1)
+        assert platform.history.has_answered(0, 3)
+        assert not platform.history.has_answered(0, 0)
+        assert not platform.history.has_answered(0, 2)
+        # The timeout wasted its cost fraction on top of the two answers.
+        answered_cost = platform.pool[1].cost + platform.pool[3].cost
+        assert platform.budget.spent > answered_cost
 
     def test_inert_batch_identical_to_bare_platform(self):
         unreliable, _ = make_unreliable(seed=3)

@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core.state import LabellingState
+from repro.crowd.compose import wrap
 from repro.crowd.cost import BudgetManager
-from repro.crowd.faults import FaultModel, UnreliablePlatform
+from repro.crowd.faults import FaultModel
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.resilient import (
     CollectorStats,
@@ -32,11 +33,30 @@ def make_stack(budget=500.0, seed=7, policy=None, collector_rng=0,
     dataset = make_blobs(40, 6, separation=3.0, name="t", rng=seed)
     pool = build_pool(seed=seed)
     platform = CrowdPlatform(dataset.labels, pool, BudgetManager(budget))
-    unreliable = UnreliablePlatform(
-        platform, FaultModel(len(pool), **fault_kwargs))
-    collector = ResilientCollector(unreliable, policy=policy,
-                                   rng=collector_rng)
+    collector = wrap(
+        platform,
+        faults=FaultModel(len(pool), **fault_kwargs),
+        resilient=True,
+        policy=policy,
+        resilience_seed=collector_rng,
+    )
     return collector, platform
+
+
+class TestDeprecatedConstruction:
+    def test_direct_construction_warns(self):
+        dataset = make_blobs(20, 6, separation=3.0, name="t", rng=0)
+        pool = build_pool(seed=0)
+        platform = CrowdPlatform(dataset.labels, pool, BudgetManager(100.0))
+        with pytest.warns(DeprecationWarning, match="repro.crowd.wrap"):
+            ResilientCollector(platform, rng=2)
+
+    def test_wrap_constructs_without_warning(self, recwarn):
+        collector, _ = make_stack()
+        assert isinstance(collector, ResilientCollector)
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations == []
 
 
 class TestPolicyValidation:
@@ -97,6 +117,42 @@ class TestReassignment:
         records = collector.ask_batch([(i, [0, 1, 2, 3]) for i in range(5)])
         assert records == []
         assert collector.stats.gave_up > 0
+
+    def test_ask_batch_mixed_fault_outcomes(self):
+        """One batch, three fault kinds: retry, silent corrupt, reassign.
+
+        Annotator 0 times out (retried on the spot), annotator 1 corrupts
+        silently (the bad answer is recorded as a normal one), annotator 2
+        is in a permanent outage (every request reassigned away);
+        annotator 3 is honest.  The batch must absorb all three at once.
+        """
+        collector, platform = make_stack(
+            timeout=[0.5, 0.0, 0.0, 0.0],
+            corrupt=[0.0, 1.0, 0.0, 0.0],
+            offline=[0.0, 0.0, 1.0, 0.0],
+            policy=ResiliencePolicy(quarantine_enabled=False),
+        )
+        assignments = [(i, [0, 1, 2, 3]) for i in range(8)]
+        records = collector.ask_batch(assignments)
+        # Timeouts on annotator 0 were retried rather than dropped.
+        assert collector.stats.retries > 0
+        assert collector.stats.faults["timeout"] > 0
+        # The offline annotator never produced an answer; its requests
+        # were reassigned to someone who did (the collector buckets
+        # offline outages under the 'unavailable' fault category).
+        assert collector.stats.faults["unavailable"] > 0
+        assert collector.stats.reassignments > 0
+        assert all(r.annotator_id != 2 for r in records)
+        # Corrupt answers are indistinguishable from honest ones to the
+        # collector: they land on the books like any record.
+        corrupt_records = [r for r in records if r.annotator_id == 1]
+        assert corrupt_records
+        for record in corrupt_records:
+            assert platform.history.matrix[record.object_id, 1] == \
+                record.answer
+        # Every object still got answers despite the mixed outcomes.
+        answered_objects = {r.object_id for r in records}
+        assert answered_objects == set(range(8))
 
 
 class TestQuarantine:
