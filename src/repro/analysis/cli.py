@@ -12,9 +12,12 @@ Subcommands::
 
 ``lint`` prints ``path:line:col: RULE message`` lines (or a JSON document)
 and exits non-zero when findings survive suppression, so it slots
-directly into CI.  ``flow`` runs the interprocedural dataflow rules
-(REPRO007-018; ``--select`` accepts single ids and inclusive ranges
-like ``REPRO013-REPRO018``) with committed-baseline ratcheting:
+directly into CI; its ``--select`` accepts the same single ids and
+inclusive ranges (``REPRO001-REPRO006``) as ``flow``.  ``flow`` runs
+the interprocedural dataflow rules (REPRO007-024; ``--select`` accepts
+single ids and inclusive ranges like ``REPRO019-REPRO024``, and
+``--stats`` appends a per-rule hit count over the selected rules, zeros
+included, for CI job logs) with committed-baseline ratcheting:
 findings recorded in
 a ``.repro-flow-baseline.json`` (auto-discovered by walking up from the
 analyzed path, like ``.gitignore``) are reported but do not fail the
@@ -44,7 +47,12 @@ from repro.analysis.flow import (
     split_by_baseline,
     write_baseline,
 )
-from repro.analysis.lint.engine import Finding, all_rules, lint_paths
+from repro.analysis.lint.engine import (
+    Finding,
+    all_rules,
+    expand_rule_ranges,
+    lint_paths,
+)
 from repro.exceptions import ReproError
 
 #: Modules importing these registers the library's contract decorations.
@@ -70,12 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None,
-                      help="comma-separated rule ids (default: all rules)")
+                      help="comma-separated rule ids or inclusive ranges "
+                           "like REPRO001-REPRO006 (default: all rules)")
     lint.add_argument("--statistics", action="store_true",
                       help="append a per-rule finding count summary")
 
     flow = sub.add_parser(
-        "flow", help="run the interprocedural dataflow rules (REPRO007-018)"
+        "flow", help="run the interprocedural dataflow rules (REPRO007-024)"
     )
     flow.add_argument("paths", nargs="+", help="files or directories to analyze")
     flow.add_argument("--format", choices=("text", "json"), default="text")
@@ -92,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", nargs="?", const="", default=None, metavar="PATH",
         help="accept the current findings as the new baseline (default "
              f"target: the discovered baseline, else ./{BASELINE_FILENAME})")
+    flow.add_argument(
+        "--stats", action="store_true",
+        help="append a per-rule hit count over the selected rules "
+             "(new + baselined findings, zeros included)")
     flow.add_argument(
         "--fail-on-new", action="store_true",
         help="require a baseline and fail only on findings not in it "
@@ -135,6 +148,24 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _flow_stats(select: Optional[List[str]],
+                *finding_lists: List[Finding]) -> dict:
+    """Per-rule hit counts over the selected rules, zeros included.
+
+    Zero rows matter: the CI job log uses this to show which rules
+    actually ran, not just which ones fired.
+    """
+    if select is None:
+        selected: List[str] = list(FLOW_RULES)
+    else:
+        selected = expand_rule_ranges(select, FLOW_RULES, kind="flow rule")
+    counts = {rule_id: 0 for rule_id in selected}
+    for findings in finding_lists:
+        for finding in findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return counts
+
+
 def _run_flow(args: argparse.Namespace) -> int:
     select = args.select.split(",") if args.select else None
     findings = analyze_paths(args.paths, select=select)
@@ -176,9 +207,16 @@ def _run_flow(args: argparse.Namespace) -> int:
             "baselined": [finding.to_dict() for finding in baselined],
             "baselined_count": len(baselined),
         }
+        if args.stats:
+            payload["stats"] = _flow_stats(select, findings, baselined)
         print(json.dumps(payload, indent=2))
     else:
         lines = [finding.format() for finding in findings]
+        if args.stats:
+            lines.append("rule hits (new + baselined):")
+            for rule_id, count in _flow_stats(select, findings,
+                                              baselined).items():
+                lines.append(f"  {rule_id}: {count}")
         summary = (f"{len(findings)} finding(s)" if findings
                    else "no new findings")
         if baseline_path is not None:

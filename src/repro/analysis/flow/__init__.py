@@ -19,7 +19,13 @@ graph and runs three engines across function and module boundaries:
   parent RNG streams crossing process boundaries, REPRO015 unpicklable
   worker payloads, REPRO016 in-place mutation aliased across
   components, REPRO017 order-dependent reductions over unordered
-  containers, REPRO018 environment reads in worker-reachable code).
+  containers, REPRO018 environment reads in worker-reachable code);
+* :mod:`~.serve` — serve-safety rules certifying the multi-tenant
+  event loop (REPRO019 dropped futures, REPRO020 blocking calls in
+  event-loop-reachable code, REPRO021 per-session state in shared
+  scope, REPRO022 completion dispatch off the ``(due, seq)`` total
+  order, REPRO023 episode-generator protocol misuse, REPRO024
+  delivered payloads mutated after delivery).
 
 Findings reuse the lint engine's :class:`~repro.analysis.lint.engine.Finding`
 record and honour the same ``# repro: noqa REPROxxx`` suppression
@@ -32,11 +38,13 @@ CI.  ``select`` accepts both single ids and inclusive ranges
 
 from __future__ import annotations
 
-import re
 from typing import Iterable, List, Optional, Sequence
 
-from repro.analysis.lint.engine import Finding, _is_suppressed
-from repro.exceptions import ConfigurationError
+from repro.analysis.lint.engine import (
+    Finding,
+    _is_suppressed,
+    expand_rule_ranges,
+)
 from repro.analysis.flow.baseline import (
     BASELINE_FILENAME,
     discover_baseline,
@@ -49,6 +57,7 @@ from repro.analysis.flow.determinism import check_determinism
 from repro.analysis.flow.parallel import check_parallel
 from repro.analysis.flow.project import Project
 from repro.analysis.flow.rng import check_rng
+from repro.analysis.flow.serve import check_serve
 from repro.analysis.flow.shapes import check_shapes
 
 #: Rule id -> one-line description, in report order.
@@ -74,37 +83,29 @@ FLOW_RULES = {
                 "merge-built dicts",
     "REPRO018": "no os.environ/tempfile/cwd reads in worker-reachable "
                 "functions",
+    "REPRO019": "no dropped futures: every PendingAnswer produced must be "
+                "routed to a handler or collected",
+    "REPRO020": "no blocking calls reachable from event-loop-driven code "
+                "(annotate '# repro: blocking[<call>]' to justify)",
+    "REPRO021": "no per-session state written to engine- or module-scope "
+                "slots reachable from another session",
+    "REPRO022": "completion dispatch must key on the (due, seq) total "
+                "order — no bare heaps, min() over dicts, or set/dict "
+                "iteration",
+    "REPRO023": "episode generators must be fed via send and closed on "
+                "abort; no yield inside try without finally",
+    "REPRO024": "no mutation of a delivered answer payload or records "
+                "list after delivery",
 }
 
-_ENGINES = (check_rng, check_shapes, check_determinism, check_parallel)
-
-_RANGE_RE = re.compile(r"^(REPRO)(\d+)-(?:REPRO)?(\d+)$", re.IGNORECASE)
+_ENGINES = (check_rng, check_shapes, check_determinism, check_parallel,
+            check_serve)
 
 
 def _selected(select: Optional[Iterable[str]]) -> Sequence[str]:
     if select is None:
         return tuple(FLOW_RULES)
-    chosen = []
-    for token in select:
-        token = token.strip().upper()
-        match = _RANGE_RE.match(token)
-        if match is not None:
-            lo, hi = int(match.group(2)), int(match.group(3))
-            if hi < lo:
-                raise ConfigurationError(
-                    f"empty flow rule range {token!r}"
-                )
-            expanded = [f"REPRO{i:03d}" for i in range(lo, hi + 1)]
-        else:
-            expanded = [token]
-        for rule_id in expanded:
-            if rule_id not in FLOW_RULES:
-                raise ConfigurationError(
-                    f"unknown flow rule {rule_id!r}; known: "
-                    f"{', '.join(FLOW_RULES)}"
-                )
-            chosen.append(rule_id)
-    return tuple(chosen)
+    return tuple(expand_rule_ranges(select, FLOW_RULES, kind="flow rule"))
 
 
 def analyze_project(project: Project,

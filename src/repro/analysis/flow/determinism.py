@@ -28,11 +28,16 @@ enumeration order, set iteration order, or the wall clock:
 from __future__ import annotations
 
 import ast
-import re
 from typing import Dict, Iterator, Optional
 
 from repro.analysis.lint.engine import Finding
-from repro.analysis.flow.project import ModuleInfo, Project, call_keyword
+from repro.analysis.flow.project import (
+    ModuleInfo,
+    Project,
+    call_keyword,
+    exempted_key,
+    keyed_exemptions,
+)
 
 #: Fully qualified enumeration calls whose order is filesystem-defined.
 _FS_ENUMERATORS = {
@@ -63,20 +68,9 @@ _WALL_CLOCK = {
 #: Dotted sub-packages exempt from the wall-clock rule.
 _CLOCK_EXEMPT_PACKAGES = ("obs",)
 
-#: Keyed wall-clock exemption: names the one clock it excuses and must
-#: carry a justification after the dash.
-_WALL_CLOCK_EXEMPT_RE = re.compile(
-    r"#\s*repro:\s*wall-clock\[([^\]]+)\]\s*[-—–]+\s*\S", re.IGNORECASE
-)
-
-
 def _wall_clock_exemptions(module: ModuleInfo) -> Dict[int, str]:
     """Line number -> exempted clock key, from the module's annotations."""
-    return {
-        lineno: match.group(1).strip()
-        for lineno, text in enumerate(module.source.splitlines(), 1)
-        if (match := _WALL_CLOCK_EXEMPT_RE.search(text)) is not None
-    }
+    return keyed_exemptions(module, "wall-clock")
 
 
 def _clock_exempted(module: ModuleInfo, exemptions: Dict[int, str],
@@ -84,22 +78,11 @@ def _clock_exempted(module: ModuleInfo, exemptions: Dict[int, str],
     """Whether the read at ``lineno`` carries a matching keyed exemption.
 
     The annotation counts on the read's own line, or on the comment
-    block sitting directly above it (scanning up through comment-only
-    lines, so a long justification can wrap).  The key must equal the
-    resolved clock name exactly.
+    block sitting directly above it (see
+    :func:`repro.analysis.flow.project.exempted_key`).  The key must
+    equal the resolved clock name exactly.
     """
-    lines = module.source.splitlines()
-    line = lineno
-    while line >= 1:
-        key = exemptions.get(line)
-        if key is not None:
-            return key == resolved
-        if line != lineno:
-            text = lines[line - 1].strip()
-            if not text.startswith("#"):
-                return False
-        line -= 1
-    return False
+    return exempted_key(module, exemptions, lineno) == resolved
 
 
 def _finding(rule_id: str, module: ModuleInfo, node: ast.AST,

@@ -21,7 +21,15 @@ This module builds that shared substrate once per run:
 * the scope machinery (:func:`iter_scope_nodes`, :func:`bound_names`,
   :func:`free_loads`, :func:`enclosing_scopes`) — a closure-capture
   view of nested lambdas/defs that both the REPRO009 shared-stream rule
-  and the process-boundary rules (REPRO014/015) walk.
+  and the process-boundary rules (REPRO014/015) walk;
+* :class:`ClassRecord` and :attr:`Project.classes_by_short` — class
+  definitions indexed by short name, so the serve-safety rules can
+  recognise project-defined future types (``PendingAnswer``) at their
+  construction sites;
+* generator-frame support (:attr:`FunctionRecord.is_generator`) and the
+  keyed-exemption machinery (:func:`keyed_exemptions`,
+  :func:`exempted_key`) shared by the REPRO012 wall-clock and REPRO020
+  blocking-call annotations.
 
 Resolution is deliberately conservative: a name that cannot be traced to
 a unique definition resolves to ``None`` and downstream rules stay quiet
@@ -109,6 +117,19 @@ class FunctionRecord:
     def full_name(self) -> str:
         return f"{self.module.name}.{self.qualname}"
 
+    @property
+    def is_generator(self) -> bool:
+        """Whether this function's own scope contains a ``yield``.
+
+        Nested defs/lambdas are excluded (their yields belong to their
+        own frames), so this matches Python's definition of a generator
+        function.
+        """
+        return any(
+            isinstance(node, (ast.Yield, ast.YieldFrom))
+            for node in iter_scope_nodes(self.node)
+        )
+
     def attribute_writes(self) -> List[Tuple[str, str, ast.AST]]:
         """``(base_name, attribute, node)`` for every ``name.attr = ...``.
 
@@ -131,6 +152,31 @@ class FunctionRecord:
                     if isinstance(base, ast.Name):
                         writes.append((base.id, target.attr, node))
         return writes
+
+
+@dataclass
+class ClassRecord:
+    """One class definition somewhere in the project."""
+
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    qualname: str
+
+    @property
+    def short_name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def full_name(self) -> str:
+        return f"{self.module.name}.{self.qualname}"
+
+    def methods(self) -> List["FunctionRecord"]:
+        """The class's method records, in definition order."""
+        return [
+            record
+            for record in _collect_functions(self.module)
+            if record.class_name == self.short_name
+            and record.qualname.startswith(f"{self.qualname}.")
+        ]
 
 
 @dataclass
@@ -349,12 +395,18 @@ class Project:
         self.functions_by_full: Dict[str, FunctionRecord] = {}
         #: ``module.NAME`` -> module-scope binding record
         self.module_globals: Dict[str, GlobalRecord] = {}
+        #: short class name -> every project definition with that name
+        self.classes_by_short: Dict[str, List[ClassRecord]] = {}
         for module in self.modules:
             for record in _collect_functions(module):
                 self.functions_by_short.setdefault(
                     record.short_name, []
                 ).append(record)
                 self.functions_by_full[record.full_name()] = record
+            for class_record in _collect_classes(module):
+                self.classes_by_short.setdefault(
+                    class_record.short_name, []
+                ).append(class_record)
             for global_record in _collect_globals(module):
                 self.module_globals[global_record.key()] = global_record
 
@@ -440,6 +492,23 @@ class Project:
         return returns
 
 
+def _collect_classes(module: ModuleInfo) -> Iterable[ClassRecord]:
+    """Yield every class definition in a module, nested ones qualified."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterable[ClassRecord]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}{child.name}"
+                yield ClassRecord(module=module, node=child, qualname=qualname)
+                yield from walk(child, f"{qualname}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, f"{prefix}{child.name}.<locals>.")
+            else:
+                yield from walk(child, prefix)
+
+    return walk(module.tree, "")
+
+
 def _collect_functions(module: ModuleInfo) -> Iterable[FunctionRecord]:
     """Yield every function definition in a module with its class context."""
 
@@ -459,6 +528,50 @@ def _collect_functions(module: ModuleInfo) -> Iterable[FunctionRecord]:
                 yield from walk(child, prefix, class_name)
 
     return walk(module.tree, "", None)
+
+
+# ----------------------------------------------------------------------
+# Keyed exemption annotations (shared by REPRO012 and REPRO020)
+# ----------------------------------------------------------------------
+#: ``# repro: <kind>[<key>] — <why>``; the key names exactly what the
+#: annotation excuses and the justification after the dash is mandatory.
+_KEYED_EXEMPT_TEMPLATE = r"#\s*repro:\s*{kind}\[([^\]]+)\]\s*[-—–]+\s*\S"
+
+
+def keyed_exemptions(module: ModuleInfo, kind: str) -> Dict[int, str]:
+    """Line number -> exempted key, for ``# repro: <kind>[...]`` comments."""
+    pattern = re.compile(
+        _KEYED_EXEMPT_TEMPLATE.format(kind=re.escape(kind)), re.IGNORECASE
+    )
+    return {
+        lineno: match.group(1).strip()
+        for lineno, text in enumerate(module.source.splitlines(), 1)
+        if (match := pattern.search(text)) is not None
+    }
+
+
+def exempted_key(module: ModuleInfo, exemptions: Dict[int, str],
+                 lineno: int) -> Optional[str]:
+    """The exemption key covering ``lineno``, or ``None``.
+
+    An annotation counts on the line itself, or on the contiguous
+    comment block sitting directly above it (scanning up through
+    comment-only lines, so a long justification can wrap).  Callers
+    compare the returned key against the resolved call they are judging
+    — a key never silences a different call that creeps onto the line.
+    """
+    lines = module.source.splitlines()
+    line = lineno
+    while line >= 1:
+        key = exemptions.get(line)
+        if key is not None:
+            return key
+        if line != lineno:
+            text = lines[line - 1].strip()
+            if not text.startswith("#"):
+                return None
+        line -= 1
+    return None
 
 
 def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:

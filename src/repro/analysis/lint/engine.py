@@ -135,22 +135,55 @@ def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
     return cls
 
 
+#: Inclusive rule-id range, e.g. ``REPRO001-REPRO006`` or ``REPRO001-006``.
+_SELECT_RANGE_RE = re.compile(r"^(REPRO)(\d+)-(?:REPRO)?(\d+)$", re.IGNORECASE)
+
+
+def expand_rule_ranges(select: Iterable[str],
+                       known: Iterable[str],
+                       kind: str = "rule") -> List[str]:
+    """Expand ``--select`` tokens (ids and inclusive ranges) against ``known``.
+
+    The one parser behind both the lint and the flow CLIs: a token is
+    either a single id (``REPRO005``) or an inclusive range
+    (``REPRO001-REPRO006``, short form ``REPRO001-006``); every expanded
+    id must exist in ``known`` or the whole selection is rejected.
+    """
+    known = set(known)
+    chosen: List[str] = []
+    for token in select:
+        token = token.strip().upper()
+        match = _SELECT_RANGE_RE.match(token)
+        if match is not None:
+            lo, hi = int(match.group(2)), int(match.group(3))
+            if hi < lo:
+                raise ConfigurationError(f"empty {kind} range {token!r}")
+            expanded = [f"REPRO{i:03d}" for i in range(lo, hi + 1)]
+        else:
+            expanded = [token]
+        for rule_id in expanded:
+            if rule_id not in known:
+                raise ConfigurationError(
+                    f"unknown {kind} {rule_id!r}; known: "
+                    f"{', '.join(sorted(known))}"
+                )
+            chosen.append(rule_id)
+    return chosen
+
+
 def all_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
-    """Instantiate the registered rules, optionally restricted to ``select``."""
+    """Instantiate the registered rules, optionally restricted to ``select``.
+
+    ``select`` accepts single ids and inclusive ranges
+    (``REPRO001-REPRO006``), the same syntax as the flow CLI.
+    """
     # Importing the rules package triggers registration of the REPRO rules.
     import repro.analysis.lint.rules  # noqa: F401  (import for side effect)
 
     if select is None:
-        chosen = sorted(_REGISTRY)
+        chosen: List[str] = sorted(_REGISTRY)
     else:
-        chosen = []
-        for rule_id in select:
-            rule_id = rule_id.strip().upper()
-            if rule_id not in _REGISTRY:
-                raise ConfigurationError(
-                    f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
-                )
-            chosen.append(rule_id)
+        chosen = expand_rule_ranges(select, _REGISTRY, kind="rule")
     return [_REGISTRY[rule_id]() for rule_id in chosen]
 
 

@@ -127,5 +127,7 @@ class WallClock:
         due, seq, event = heapq.heappop(self._events)
         remaining = due - self.now
         if remaining > 0.0:
+            # repro: blocking[time.sleep] — WallClock is the real-time
+            # demo scheduler; the sleep IS its event pacing, not a stall.
             time.sleep(remaining)
         return due, seq, event

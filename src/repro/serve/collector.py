@@ -83,6 +83,16 @@ class EventLoopCollector:
         self._arrived = 0
         self._advance(records)
 
+    def close(self) -> None:
+        """Release the episode's suspended generator frame.
+
+        Throwing ``GeneratorExit`` into the episode runs its cleanup and
+        drops the frame's references (agent, platform chain, partial
+        state).  Idempotent, and a no-op once the episode has returned —
+        safe to call on the success path too.
+        """
+        self._episode.close()
+
     # ------------------------------------------------------------------
     def _advance(self, records, first: bool = False) -> None:
         """Feed ``records`` to the episode; submit until work is in flight.
@@ -91,22 +101,28 @@ class EventLoopCollector:
         everything answered); the episode must see that empty list
         immediately — exactly as the sync driver would deliver it — so
         this loops until either a non-empty batch is in flight or the
-        episode returns.
+        episode returns.  Any fault escaping the episode or the
+        submission path closes the generator before propagating, so an
+        aborted session never parks a suspended frame.
         """
-        while True:
-            try:
-                if first:
-                    request = next(self._episode)
-                    first = False
-                else:
-                    request = self._episode.send(records)
-            except StopIteration as stop:
-                self.result = stop.value
-                self.done = True
-                return
-            records = self._submit(request)
-            if self._pending:
-                return
+        try:
+            while True:
+                try:
+                    if first:
+                        request = next(self._episode)
+                        first = False
+                    else:
+                        request = self._episode.send(records)
+                except StopIteration as stop:
+                    self.result = stop.value
+                    self.done = True
+                    return
+                records = self._submit(request)
+                if self._pending:
+                    return
+        except BaseException:
+            self.close()
+            raise
 
     def _submit(self, request: CollectRequest) -> list:
         """Submit one request; returns ``[]`` records for an empty batch.
@@ -146,14 +162,18 @@ def run_episode_async(framework, dataset,
     compare against.
     """
     collector = EventLoopCollector(framework, dataset, platform)
-    collector.start()
-    clock = platform.clock
-    while not collector.done:
-        if len(clock) == 0:
-            raise ConfigurationError(
-                "event clock idle but the episode still expects answers"
-            )
-        _due, _seq, pending = clock.pop()
-        platform.mark_delivered(pending)
-        collector.on_complete(pending)
+    try:
+        collector.start()
+        clock = platform.clock
+        while not collector.done:
+            if len(clock) == 0:
+                raise ConfigurationError(
+                    "event clock idle but the episode still expects answers"
+                )
+            _due, _seq, pending = clock.pop()
+            platform.mark_delivered(pending)
+            collector.on_complete(pending)
+    except BaseException:
+        collector.close()
+        raise
     return collector.result

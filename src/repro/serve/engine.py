@@ -200,20 +200,29 @@ class ServeEngine:
                 if not session.done:
                     active.append(session)
 
-        admit()
-        peak_active = len(active)
-        while active:
-            if len(self.clock) == 0:
-                raise ConfigurationError(
-                    "event clock idle with sessions still active"
-                )
-            _due, _seq, pending = self.clock.pop()
-            session = self._sessions[pending.session]
-            session.deliver(pending)
-            if session.done:
-                active.remove(session)
-                admit()
-            peak_active = max(peak_active, len(active))
+        try:
+            admit()
+            peak_active = len(active)
+            while active:
+                if len(self.clock) == 0:
+                    raise ConfigurationError(
+                        "event clock idle with sessions still active"
+                    )
+                _due, _seq, pending = self.clock.pop()
+                session = self._sessions[pending.session]
+                session.deliver(pending)
+                if session.done:
+                    active.remove(session)
+                    admit()
+                peak_active = max(peak_active, len(active))
+        finally:
+            # Shutdown: any session that did not finish (a fault aborted
+            # the loop) must not leave a suspended episode frame behind.
+            # On the success path every session is done and this is a
+            # no-op, so completed runs stay bit-identical.
+            for session in self._sessions.values():
+                if not session.done:
+                    session.close()
         results = [
             session.result for session in self._sessions.values()
         ]

@@ -93,6 +93,16 @@ class LabellingSession:
             if self.collector.done:
                 self._finish()
 
+    def close(self) -> None:
+        """Abort the session: release its episode generator frame.
+
+        Called by the engine's shutdown path for sessions that never
+        finished (a fault aborted the run, or another session's fault
+        tore the loop down).  Idempotent; a finished session's generator
+        is already exhausted and this is a no-op.
+        """
+        self.collector.close()
+
     def deliver(self, pending: PendingAnswer) -> None:
         """Event-loop callback: one of this session's answers landed."""
         if self.state != ACTIVE:

@@ -1,0 +1,37 @@
+"""REPRO020 fixture: blocking calls reachable from the event loop.
+
+Two hits inside ``serve_``-scoped functions: a bare ``time.sleep`` and
+a lock acquisition.  The keyed-annotated sleep and the pure computation
+stay silent.
+"""
+
+import threading
+import time
+
+
+def hit_sleep_on_loop(delay):
+    """Stalls every session on the shared loop."""
+    time.sleep(delay)
+    return delay
+
+
+def hit_lock_acquire(values):
+    """Lock acquisition can park the loop's only thread."""
+    guard = threading.Lock()
+    guard.acquire()
+    try:
+        return len(values)
+    finally:
+        guard.release()
+
+
+def clean_annotated_demo_pause(delay):
+    """A keyed annotation excuses a deliberate block (silent)."""
+    # repro: blocking[time.sleep] — demo pacing really waits on purpose
+    time.sleep(delay)
+    return delay
+
+
+def clean_pure_computation(values):
+    """No syscalls, no stalls (silent)."""
+    return [value * 2 for value in values]

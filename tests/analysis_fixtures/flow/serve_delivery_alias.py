@@ -1,0 +1,43 @@
+"""REPRO024 fixture: delivered payloads mutated after delivery.
+
+Two hits: the projected records list sorted in place after delivery,
+and a delivered batch passed to a helper that mutates its parameter.
+The read-only audit and the copy-then-sort form stay silent.
+"""
+
+
+def dedupe_in_place(items):
+    """Mutates its parameter: callers alias the delivered objects."""
+    items.reverse()
+    seen = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return seen
+
+
+def hit_sort_after_projection(pendings):
+    """Sorting the projection rewrites the session's books."""
+    records = [p.record for p in pendings]
+    records.sort(key=lambda r: r.item_id)
+    return records
+
+
+def hit_mutator_pass(clock):
+    """The helper reverses the delivered list in place."""
+    delivered = clock.drain()
+    return dedupe_in_place(delivered)
+
+
+def clean_read_only(clock):
+    """Reading delivered records is fine (silent)."""
+    delivered = clock.drain()
+    return len(delivered)
+
+
+def clean_copy_then_sort(pendings):
+    """A copy breaks the alias before mutating (silent)."""
+    records = [p.record for p in pendings]
+    ordered = list(records)
+    ordered.sort(key=lambda r: r.item_id)
+    return ordered

@@ -1,0 +1,53 @@
+"""REPRO019 fixture: pending answers created but never routed.
+
+Two hits: a ``PendingAnswer`` constructed and dropped as a bare
+expression statement, and a transitive producer's future bound to a
+name nobody reads again.  The routed, returned, and attribute-read
+forms stay silent.
+"""
+
+
+class PendingAnswer:
+    """A stand-in future for one submitted question."""
+
+    def __init__(self, item):
+        self.item = item
+        self.seq = 0
+
+
+def make_pending(item):
+    """Transitive producer: callers' results are futures too (silent)."""
+    return PendingAnswer(item)
+
+
+def hit_dropped_expression(items):
+    """Constructs a future and drops it on the floor."""
+    for item in items:
+        PendingAnswer(item)
+    return len(items)
+
+
+def hit_assigned_never_read(item):
+    """Binds the producer's future to a name nobody reads."""
+    pending = make_pending(item)
+    return item
+
+
+def clean_routed_to_batch(items):
+    """Appending to the in-flight batch routes the future (silent)."""
+    batch = []
+    for item in items:
+        pending = make_pending(item)
+        batch.append(pending)
+    return batch
+
+
+def clean_returned(item):
+    """Returning hands the future to the caller (silent)."""
+    return make_pending(item)
+
+
+def clean_attribute_read(item):
+    """Reading the future's attributes afterwards counts as use (silent)."""
+    pending = PendingAnswer(item)
+    return pending.seq

@@ -1,0 +1,48 @@
+"""REPRO022 fixture: dispatch off the (due, seq) total order.
+
+Three hits: a completion heap pushed without the seq tie-breaker, a
+``min()`` over the in-flight dict keyed by due alone, and dispatch by
+iterating a set of futures.  The (due, seq, event) push, the seq-keyed
+``min``, and the sorted iteration stay silent.
+"""
+
+import heapq
+
+
+class Dispatcher:
+    """Tracks in-flight completions for one shared loop."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._inflight: dict = {}
+        self._waiting: set = set()
+
+    def track(self, pending):
+        """Feeds the containers the dispatch sites below are judged on."""
+        self._inflight[pending.seq] = pending
+        self._waiting.add(pending)
+
+    def hit_bare_heap_push(self, pending):
+        """Pushes the raw future: ties on due break by heap internals."""
+        heapq.heappush(self._heap, pending)
+
+    def hit_min_by_due(self):
+        """min() keyed by due alone reintroduces dict order on ties."""
+        return min(self._inflight.values(), key=lambda p: p.due)
+
+    def hit_set_dispatch(self):
+        """Iterating the waiting set dispatches in hash order."""
+        return [p.item for p in self._waiting]
+
+    def clean_total_order_push(self, due, seq, pending):
+        """The (due, seq, event) tuple is the total order (silent)."""
+        heapq.heappush(self._heap, (due, seq, pending))
+
+    def clean_min_by_total_order(self):
+        """Keying by (due, seq) restores determinism (silent)."""
+        return min(self._inflight.values(), key=lambda p: (p.due, p.seq))
+
+    def clean_sorted_dispatch(self):
+        """Sorting by the total order before dispatch (silent)."""
+        return [p.item for p in
+                sorted(self._waiting, key=lambda p: (p.due, p.seq))]

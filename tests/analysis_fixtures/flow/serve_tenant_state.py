@@ -1,0 +1,40 @@
+"""REPRO021 fixture: per-session state parked in shared scope.
+
+Two hits: a registry written to a plain attribute of the shared router
+(whose methods take a ``session``), and a registry appended to a
+module-global list.  The session-keyed slot and the annotated
+process-local list stay silent.
+"""
+
+_LEAKED_REGISTRIES: list = []  # repro: noqa REPRO013
+
+_WARMUP_CACHES: list = []  # repro: process-local — rebuilt identically at import time in every process
+
+
+class AnswerRouter:
+    """Shared across every session on the engine."""
+
+    def __init__(self):
+        self._per_session: dict = {}
+
+    def route(self, session, payload):
+        """The shared entry point (its ``session`` arg marks the class)."""
+        return (session, payload)
+
+    def hit_attach(self, registry):
+        """Parks one session's registry on the shared router."""
+        self.registry = registry
+
+    def clean_bind(self, session, registry):
+        """A session-keyed slot preserves isolation (silent)."""
+        self._per_session[session] = registry
+
+
+def hit_register_fallback(registry):
+    """Appends one session's registry to a module-global list."""
+    _LEAKED_REGISTRIES.append(registry)
+
+
+def clean_warm_cache(registry):
+    """The annotated process-local list is deliberate (silent)."""
+    _WARMUP_CACHES.append(registry)

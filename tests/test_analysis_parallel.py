@@ -203,8 +203,8 @@ def test_parallel_baseline_round_trip_survives_line_shifts(tmp_path, capsys):
 # CLI surfaces
 # ----------------------------------------------------------------------
 def test_flow_rules_table_lists_parallel_rules():
-    """The rule registry covers REPRO007 through REPRO018."""
-    expected = {f"REPRO{i:03d}" for i in range(7, 19)}
+    """The rule registry covers REPRO007 through REPRO024."""
+    expected = {f"REPRO{i:03d}" for i in range(7, 25)}
     assert set(FLOW_RULES) == expected
 
 

@@ -17,8 +17,10 @@ them:
 import numpy as np
 import pytest
 
+import inspect
+
 from repro.core.config import CrowdRLConfig
-from repro.core.framework import CrowdRL
+from repro.core.framework import CollectRequest, CrowdRL
 from repro.crowd.cost import BudgetManager
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.pool import AnnotatorPool
@@ -225,6 +227,84 @@ class TestAsyncPlatform:
         with pytest.raises(ConfigurationError):
             EventLoopCollector(
                 CrowdRL(CrowdRLConfig(), rng=0), dataset, platform)
+
+
+# ----------------------------------------------------------------------
+# Generator lifecycle: no dangling episode frames after faults
+# ----------------------------------------------------------------------
+class FaultyFramework:
+    """Episode raises after its first batch lands, mid-protocol.
+
+    ``episode()`` records every generator it hands out so tests can
+    assert the frame was released after the abort.
+    """
+
+    name = "faulty"
+
+    def __init__(self):
+        self.frames = []
+
+    def episode(self, dataset, platform):
+        frame = self._episode(dataset, platform)
+        self.frames.append(frame)
+        return frame
+
+    def _episode(self, dataset, platform):
+        yield CollectRequest(assignments=((0, [0]),), phase="initial_sample")
+        raise ValueError("annotation backend exploded")
+
+
+class TestGeneratorLifecycle:
+    """Fault-abort and shutdown paths must close the episode generator."""
+
+    def test_faulted_collector_closes_episode_frame(self):
+        adapter, _, clock = make_async()
+        dataset = make_blobs(10, 6, separation=3.0, name="t", rng=0)
+        framework = FaultyFramework()
+        collector = EventLoopCollector(framework, dataset, adapter)
+        collector.start()
+        assert not collector.done
+        assert inspect.getgeneratorstate(framework.frames[0]) == \
+            inspect.GEN_SUSPENDED
+        with pytest.raises(ValueError):
+            _due, _seq, pending = clock.pop()
+            adapter.mark_delivered(pending)
+            collector.on_complete(pending)
+        assert inspect.getgeneratorstate(framework.frames[0]) == \
+            inspect.GEN_CLOSED
+
+    def test_faulted_run_episode_async_closes_frame(self):
+        from repro.serve.collector import run_episode_async
+
+        adapter, _, _ = make_async()
+        dataset = make_blobs(10, 6, separation=3.0, name="t", rng=0)
+        framework = FaultyFramework()
+        with pytest.raises(ValueError):
+            run_episode_async(framework, dataset, adapter)
+        assert inspect.getgeneratorstate(framework.frames[0]) == \
+            inspect.GEN_CLOSED
+
+    def test_engine_shutdown_closes_unfinished_sessions(self):
+        pool = build_pool()
+        engine = ServeEngine(
+            pool,
+            latency=LatencyModel.for_pool(pool, worker_latency=1.0,
+                                          jitter=0.0, rng=0),
+            max_active=1,
+        )
+        dataset = make_blobs(12, 6, separation=3.0, name="t", rng=0)
+        faulty = FaultyFramework()
+        queued = FaultyFramework()
+        engine.add_project("p0", dataset, faulty, budget=200.0)
+        engine.add_project("p1", dataset, queued, budget=200.0)
+        with pytest.raises(ValueError):
+            engine.run()
+        # The faulted session's frame closed on its own abort path...
+        assert inspect.getgeneratorstate(faulty.frames[0]) == \
+            inspect.GEN_CLOSED
+        # ...and the never-admitted session's frame closed at shutdown.
+        assert inspect.getgeneratorstate(queued.frames[0]) == \
+            inspect.GEN_CLOSED
 
 
 # ----------------------------------------------------------------------
